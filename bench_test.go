@@ -1,0 +1,307 @@
+// Root benchmark suite: one benchmark per paper table/figure plus the
+// ablations called out in DESIGN.md. These run each configuration as a
+// testing.B benchmark for statistical use; cmd/paperbench runs the full
+// sweeps and prints the paper-shaped tables.
+package repro_test
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/deque"
+	"repro/internal/sched"
+	"repro/internal/workloads/bzip2"
+	"repro/internal/workloads/dedup"
+	"repro/internal/workloads/ferret"
+	"repro/swan"
+)
+
+// benchCores is the reduced core set used by benchmarks (the full sweep
+// lives in cmd/paperbench).
+func benchCores() []int {
+	n := runtime.NumCPU()
+	set := []int{1}
+	if n >= 8 {
+		set = append(set, 8)
+	}
+	if n > 1 {
+		set = append(set, n)
+	}
+	return set
+}
+
+// --- Table 1 ------------------------------------------------------------
+
+func BenchmarkTable1FerretStages(b *testing.B) {
+	p := ferret.DefaultParams()
+	p.NumImages = 64
+	corpus := ferret.NewCorpus(p)
+	b.ResetTimer()
+	var rows []ferret.StageTime
+	for i := 0; i < b.N; i++ {
+		rows = ferret.CharacterizeStages(corpus, p)
+	}
+	b.StopTimer()
+	for _, r := range rows {
+		b.ReportMetric(r.Percent, r.Name+"_%")
+	}
+}
+
+// --- Table 2 ------------------------------------------------------------
+
+func BenchmarkTable2DedupStages(b *testing.B) {
+	data := dedup.GenerateInput(42, 4*1024*1024, 0.5)
+	o := dedup.DefaultOptions()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	var rows []dedup.StageTime
+	for i := 0; i < b.N; i++ {
+		rows = dedup.CharacterizeStages(data, o)
+	}
+	b.StopTimer()
+	for _, r := range rows {
+		b.ReportMetric(r.Percent, r.Name+"_%")
+	}
+}
+
+// --- Figure 8 -----------------------------------------------------------
+
+func BenchmarkFig8Ferret(b *testing.B) {
+	p := ferret.DefaultParams()
+	corpus := ferret.NewCorpus(p)
+	models := map[string]func(cores int){
+		"Pthreads":   func(c int) { ferret.RunPthreads(corpus, p, c+4, 4*c) },
+		"TBB":        func(c int) { ferret.RunTBB(corpus, p, c, 4*c) },
+		"Objects":    func(c int) { ferret.RunObjects(swan.New(c), corpus, p) },
+		"Hyperqueue": func(c int) { ferret.RunHyperqueue(swan.New(c), corpus, p, 16) },
+	}
+	for _, name := range []string{"Pthreads", "TBB", "Objects", "Hyperqueue"} {
+		for _, cores := range benchCores() {
+			b.Run(fmt.Sprintf("model=%s/cores=%d", name, cores), func(b *testing.B) {
+				prev := runtime.GOMAXPROCS(cores)
+				defer runtime.GOMAXPROCS(prev)
+				for i := 0; i < b.N; i++ {
+					models[name](cores)
+				}
+			})
+		}
+	}
+}
+
+// --- Figure 11 ----------------------------------------------------------
+
+func BenchmarkFig11Dedup(b *testing.B) {
+	data := dedup.GenerateInput(42, 4*1024*1024, 0.5)
+	o := dedup.DefaultOptions()
+	models := map[string]func(cores int){
+		"Pthreads":   func(c int) { dedup.RunPthreads(data, o, c+4, 4*c) },
+		"TBB":        func(c int) { dedup.RunTBB(data, o, c, 4*c) },
+		"Objects":    func(c int) { dedup.RunObjects(swan.New(c), data, o) },
+		"Hyperqueue": func(c int) { dedup.RunHyperqueue(swan.New(c), data, o, 64) },
+	}
+	for _, name := range []string{"Pthreads", "TBB", "Objects", "Hyperqueue"} {
+		for _, cores := range benchCores() {
+			b.Run(fmt.Sprintf("model=%s/cores=%d", name, cores), func(b *testing.B) {
+				prev := runtime.GOMAXPROCS(cores)
+				defer runtime.GOMAXPROCS(prev)
+				b.SetBytes(int64(len(data)))
+				for i := 0; i < b.N; i++ {
+					models[name](cores)
+				}
+			})
+		}
+	}
+}
+
+// --- §6.3 bzip2 ---------------------------------------------------------
+
+func BenchmarkBzip2(b *testing.B) {
+	data := bzip2.GenerateInput(7, 1024*1024)
+	const blockSize = 64 * 1024
+	models := map[string]func(cores int){
+		"Objects":    func(c int) { bzip2.RunObjects(swan.New(c), data, blockSize) },
+		"Hyperqueue": func(c int) { bzip2.RunHyperqueue(swan.New(c), data, blockSize, 8) },
+		"LoopSplit":  func(c int) { bzip2.RunHyperqueueLoopSplit(swan.New(c), data, blockSize, 8, 8) },
+	}
+	for _, name := range []string{"Objects", "Hyperqueue", "LoopSplit"} {
+		for _, cores := range benchCores() {
+			b.Run(fmt.Sprintf("model=%s/cores=%d", name, cores), func(b *testing.B) {
+				prev := runtime.GOMAXPROCS(cores)
+				defer runtime.GOMAXPROCS(prev)
+				b.SetBytes(int64(len(data)))
+				for i := 0; i < b.N; i++ {
+					models[name](cores)
+				}
+			})
+		}
+	}
+}
+
+// --- Ablation: queue segment length (§5.1) -------------------------------
+
+func BenchmarkAblationSegmentSize(b *testing.B) {
+	for _, segCap := range []int{1, 16, 256, 4096} {
+		b.Run(fmt.Sprintf("segcap=%d", segCap), func(b *testing.B) {
+			rt := sched.New(2)
+			rt.Run(func(f *sched.Frame) {
+				q := core.NewWithCapacity[int](f, segCap)
+				b.ResetTimer()
+				f.Spawn(func(c *sched.Frame) {
+					for i := 0; i < b.N; i++ {
+						q.Push(c, i)
+					}
+				}, core.Push(q))
+				f.Spawn(func(c *sched.Frame) {
+					for i := 0; i < b.N; i++ {
+						q.Pop(c)
+					}
+				}, core.Pop(q))
+				f.Sync()
+			})
+		})
+	}
+}
+
+// --- Ablation: hyperqueue vs Go channel as SPSC transport ----------------
+
+func BenchmarkAblationQueueVsChannel(b *testing.B) {
+	b.Run("hyperqueue", func(b *testing.B) {
+		rt := sched.New(2)
+		rt.Run(func(f *sched.Frame) {
+			q := core.NewWithCapacity[int](f, 256)
+			b.ResetTimer()
+			f.Spawn(func(c *sched.Frame) {
+				for i := 0; i < b.N; i++ {
+					q.Push(c, i)
+				}
+			}, core.Push(q))
+			f.Spawn(func(c *sched.Frame) {
+				for i := 0; i < b.N; i++ {
+					q.Pop(c)
+				}
+			}, core.Pop(q))
+			f.Sync()
+		})
+	})
+	b.Run("channel", func(b *testing.B) {
+		ch := make(chan int, 256)
+		done := make(chan struct{})
+		b.ResetTimer()
+		go func() {
+			for i := 0; i < b.N; i++ {
+				ch <- i
+			}
+			close(ch)
+		}()
+		go func() {
+			for range ch {
+			}
+			close(done)
+		}()
+		<-done
+	})
+}
+
+// --- Ablation: Chase–Lev deque vs channel as dispatch substrate ----------
+
+func BenchmarkAblationDequeOwner(b *testing.B) {
+	d := deque.New[int](1024)
+	for i := 0; i < b.N; i++ {
+		d.Push(i)
+		d.Pop()
+	}
+}
+
+func BenchmarkAblationDequeVsChannelDispatch(b *testing.B) {
+	b.Run("deque-steal", func(b *testing.B) {
+		d := deque.New[int](1024)
+		for i := 0; i < 512; i++ {
+			d.Push(i)
+		}
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, ok := d.Steal(); !ok {
+					d.Push(1) // keep the deque warm
+				}
+			}
+		})
+	})
+	b.Run("channel", func(b *testing.B) {
+		ch := make(chan int, 1024)
+		for i := 0; i < 512; i++ {
+			ch <- i
+		}
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				select {
+				case <-ch:
+				default:
+					ch <- 1
+				}
+			}
+		})
+	})
+}
+
+// --- Ablation: §5.4 loop split bounds serial memory ----------------------
+
+func BenchmarkAblationLoopSplit(b *testing.B) {
+	data := bzip2.GenerateInput(7, 512*1024)
+	const blockSize = 16 * 1024
+	b.Run("monolithic-serial", func(b *testing.B) {
+		b.ReportAllocs()
+		rt := swan.New(1)
+		for i := 0; i < b.N; i++ {
+			bzip2.RunHyperqueue(rt, data, blockSize, 8)
+		}
+	})
+	b.Run("loopsplit-serial", func(b *testing.B) {
+		b.ReportAllocs()
+		rt := swan.New(1)
+		for i := 0; i < b.N; i++ {
+			bzip2.RunHyperqueueLoopSplit(rt, data, blockSize, 8, 4)
+		}
+	})
+}
+
+// --- Runtime microbenchmarks ---------------------------------------------
+
+func BenchmarkSpawnSyncOverhead(b *testing.B) {
+	rt := sched.New(runtime.NumCPU())
+	rt.Run(func(f *sched.Frame) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			f.Spawn(func(*sched.Frame) {})
+			if i%256 == 255 {
+				f.Sync()
+			}
+		}
+		f.Sync()
+	})
+}
+
+func BenchmarkVersionedInOutChain(b *testing.B) {
+	rt := sched.New(runtime.NumCPU())
+	rt.Run(func(f *sched.Frame) {
+		v := swan.NewVersioned(0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			f.Spawn(func(c *sched.Frame) { v.Set(c, v.Get(c)+1) }, swan.InOut(v))
+			if i%256 == 255 {
+				f.Sync()
+			}
+		}
+		f.Sync()
+	})
+}
+
+// --- Sanity: harness self-check ------------------------------------------
+
+func BenchmarkHarnessMeasure(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Measure(1, 1, func() {})
+	}
+}

@@ -1,0 +1,62 @@
+// Command bzip2bench runs the block-sorting compression pipeline (paper
+// §6.3) under the task-dataflow and hyperqueue models and verifies the
+// round trip.
+//
+// Usage:
+//
+//	bzip2bench [-model hyperqueue] [-workers N] [-size BYTES] [-block BYTES]
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/workloads/bzip2"
+	"repro/swan"
+)
+
+func main() {
+	model := flag.String("model", "hyperqueue", "serial, objects, hyperqueue, loopsplit")
+	workers := flag.Int("workers", runtime.NumCPU(), "worker slots / cores")
+	size := flag.Int("size", 4*1024*1024, "input size in bytes")
+	block := flag.Int("block", 64*1024, "compression block size")
+	segCap := flag.Int("segcap", 8, "hyperqueue segment capacity")
+	batch := flag.Int("batch", 8, "loop-split batch size (blocks per round)")
+	flag.Parse()
+
+	data := bzip2.GenerateInput(7, *size)
+
+	start := time.Now()
+	var stream []byte
+	switch *model {
+	case "serial":
+		stream = bzip2.RunSerial(data, *block)
+	case "objects":
+		stream = bzip2.RunObjects(swan.New(*workers), data, *block)
+	case "hyperqueue":
+		stream = bzip2.RunHyperqueue(swan.New(*workers), data, *block, *segCap)
+	case "loopsplit":
+		stream = bzip2.RunHyperqueueLoopSplit(swan.New(*workers), data, *block, *segCap, *batch)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown model %q\n", *model)
+		os.Exit(2)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("bzip2/%s: %d -> %d bytes (%.1f%%) in %v (%.1f MB/s) on %d workers\n",
+		*model, len(data), len(stream),
+		100*float64(len(stream))/float64(len(data)),
+		elapsed.Round(time.Millisecond),
+		float64(len(data))/elapsed.Seconds()/1e6, *workers)
+
+	back, err := bzip2.DecompressStream(stream)
+	if err != nil || !bytes.Equal(back, data) {
+		fmt.Fprintln(os.Stderr, "round trip FAILED:", err)
+		os.Exit(1)
+	}
+	fmt.Println("round trip verified ✓")
+}

@@ -1,0 +1,67 @@
+// Command ferret runs the content-based similarity-search pipeline
+// (paper §6.1) under a chosen programming model and reports throughput.
+//
+// Usage:
+//
+//	ferret [-model hyperqueue] [-workers N] [-images N] [-verify]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/workloads/ferret"
+	"repro/swan"
+)
+
+func main() {
+	model := flag.String("model", "hyperqueue", "serial, pthreads, tbb, objects, hyperqueue")
+	workers := flag.Int("workers", runtime.NumCPU(), "worker slots / cores")
+	images := flag.Int("images", 256, "query images")
+	segCap := flag.Int("segcap", 16, "hyperqueue segment capacity")
+	verify := flag.Bool("verify", false, "check output against the serial elision")
+	flag.Parse()
+
+	p := ferret.DefaultParams()
+	p.NumImages = *images
+	corpus := ferret.NewCorpus(p)
+
+	run := func(m string) (*ferret.Output, time.Duration) {
+		start := time.Now()
+		var out *ferret.Output
+		switch m {
+		case "serial":
+			out = ferret.RunSerial(corpus, p)
+		case "pthreads":
+			out = ferret.RunPthreads(corpus, p, *workers+4, 4*(*workers))
+		case "tbb":
+			out = ferret.RunTBB(corpus, p, *workers, 4*(*workers))
+		case "objects":
+			out = ferret.RunObjects(swan.New(*workers), corpus, p)
+		case "hyperqueue":
+			out = ferret.RunHyperqueue(swan.New(*workers), corpus, p, *segCap)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown model %q\n", m)
+			os.Exit(2)
+		}
+		return out, time.Since(start)
+	}
+
+	out, elapsed := run(*model)
+	fmt.Printf("ferret/%s: %d queries in %v (%.1f img/s) on %d workers, checksum %016x\n",
+		*model, out.Queries, elapsed.Round(time.Millisecond),
+		float64(out.Queries)/elapsed.Seconds(), *workers, out.Checksum)
+
+	if *verify && *model != "serial" {
+		ref, _ := run("serial")
+		if ref.Checksum == out.Checksum && ref.Queries == out.Queries {
+			fmt.Println("verified against serial elision ✓")
+		} else {
+			fmt.Println("MISMATCH against serial elision")
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+// Command paperbench regenerates the paper's evaluation artifacts
+// (Table 1, Table 2, Figure 8, Figure 11, and the §6.3 bzip2 results) on
+// this machine and prints them as Markdown tables.
+//
+// Usage:
+//
+//	paperbench [-exp all|table1|table2|fig8|fig11|bzip2] [-scale N] [-cores N] [-reps N]
+//
+// Scale 1 keeps each experiment in the seconds range; the paper-like
+// regime is -scale 4 or higher.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all, table1, table2, fig8, fig11, bzip2")
+	scale := flag.Int("scale", 1, "workload scale factor")
+	cores := flag.Int("cores", runtime.NumCPU(), "maximum cores to sweep")
+	reps := flag.Int("reps", 2, "repetitions per configuration (best-of)")
+	flag.Parse()
+
+	cfg := bench.Config{MaxCores: *cores, Reps: *reps, Scale: *scale}
+	run := func(name string) {
+		switch name {
+		case "table1":
+			fmt.Println(bench.Table1(cfg).Format())
+		case "table2":
+			fmt.Println(bench.Table2(cfg).Format())
+		case "fig8":
+			t, _ := bench.Fig8(cfg)
+			fmt.Println(t.Format())
+		case "fig11":
+			t, _ := bench.Fig11(cfg)
+			fmt.Println(t.Format())
+		case "bzip2":
+			t, _ := bench.Bzip2(cfg)
+			fmt.Println(t.Format())
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+	}
+	fmt.Printf("# Hyperqueue reproduction — %d cores available, scale %d\n\n", runtime.NumCPU(), *scale)
+	if *exp == "all" {
+		for _, e := range []string{"table1", "table2", "fig8", "fig11", "bzip2"} {
+			run(e)
+		}
+		return
+	}
+	run(*exp)
+}

@@ -1,0 +1,111 @@
+package core
+
+import "repro/internal/sched"
+
+// Push returns the pushdep dependence on q: the spawned task may push
+// values. Pushers execute concurrently with each other and with the
+// consumer (§2.3 rules 1, 2, 4).
+func Push[T any](q *Queue[T]) sched.Dep { return queueDep[T]{q, ModePush} }
+
+// Pop returns the popdep dependence on q: the spawned task may pop values
+// and test Empty. Pop tasks on the same queue are serialized in program
+// order (§2.3 rule 3).
+func Pop[T any](q *Queue[T]) sched.Dep { return queueDep[T]{q, ModePop} }
+
+// PushPop returns the pushpopdep dependence on q, combining both
+// privileges and both scheduling restrictions.
+func PushPop[T any](q *Queue[T]) sched.Dep { return queueDep[T]{q, ModePushPop} }
+
+type queueDep[T any] struct {
+	q    *Queue[T]
+	mode AccessMode
+}
+
+// Prepare runs synchronously at spawn time in the parent, in program
+// order (§4.2, "Spawn with push/pop privileges"): it checks the privilege
+// subset rule, hands the parent's user view to the child, links the child
+// into the live-sibling chain, registers producers, and issues the
+// consumer-serialization ticket.
+func (d queueDep[T]) Prepare(parent, child *sched.Frame) {
+	q := d.q
+	pqv := q.mustViews(parent, d.mode) // subset rule: parent must hold every privilege it delegates
+	q.mu.Lock()
+	defer q.mu.Unlock()
+
+	cqv := &qviews[T]{q: q, frame: child, mode: d.mode, parentQV: pqv}
+
+	// Link as youngest live sibling of pqv's children on this queue.
+	cqv.prev = pqv.childTail
+	if pqv.childTail != nil {
+		pqv.childTail.next = cqv
+	} else {
+		pqv.childHead = cqv
+	}
+	pqv.childTail = cqv
+
+	// The user view moves to the child: for pushers so they extend the
+	// chain in place, for poppers so it is hidden from later pushers
+	// until the child returns it (§4.2).
+	cqv.user = pqv.user
+	pqv.user = emptyView[T]()
+
+	if d.mode&ModePop != 0 {
+		cqv.popTicket = pqv.popTickets
+		pqv.popTickets++
+	}
+	if d.mode&ModePush != 0 {
+		q.producers[child] = struct{}{}
+	}
+
+	child.SetAttachment(queueKey[T]{q}, cqv)
+	child.AddSyncHook(func() { q.syncHook(cqv) })
+}
+
+// Wait gates the child before it takes a worker slot: pop-privileged
+// tasks wait for their elder pop siblings (§2.3 rule 3). Push-only tasks
+// start immediately (rules 1, 2 and 4).
+func (d queueDep[T]) Wait(child *sched.Frame) {
+	if d.mode&ModePop == 0 {
+		return
+	}
+	q := d.q
+	q.mu.Lock()
+	cqv := q.viewsOf(child)
+	for cqv.parentQV.popServed != cqv.popTicket {
+		q.cond.Wait()
+	}
+	q.mu.Unlock()
+}
+
+// Complete runs in the child after its body and implicit sync: the
+// child's views are reduced into its nearest live elder sibling or its
+// parent (§4.2, "Return from spawn"), it leaves the live-sibling chain,
+// producers retire, and the consumer ticket advances.
+func (d queueDep[T]) Complete(parent, child *sched.Frame) {
+	q := d.q
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	cqv := q.viewsOf(child)
+
+	q.depositCompleted(cqv)
+
+	// Unlink from the live-sibling chain.
+	if cqv.prev != nil {
+		cqv.prev.next = cqv.next
+	} else {
+		cqv.parentQV.childHead = cqv.next
+	}
+	if cqv.next != nil {
+		cqv.next.prev = cqv.prev
+	} else {
+		cqv.parentQV.childTail = cqv.prev
+	}
+
+	if d.mode&ModePop != 0 {
+		cqv.parentQV.popServed++
+	}
+	if d.mode&ModePush != 0 {
+		delete(q.producers, child)
+	}
+	q.cond.Broadcast()
+}

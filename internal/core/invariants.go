@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sched"
+)
+
+// This file implements a checker for the hyperqueue invariants of §4.4.
+// It is not used on any hot path; tests call CheckInvariants at quiescent
+// points (under q.mu) to validate the view algebra's global state.
+
+// InvariantViolation describes one violated invariant.
+type InvariantViolation struct {
+	Invariant int
+	Detail    string
+}
+
+func (v InvariantViolation) String() string {
+	return fmt.Sprintf("invariant %d violated: %s", v.Invariant, v.Detail)
+}
+
+// CheckInvariants validates the §4.4 invariants that are checkable from
+// the queue's structural state, returning all violations found. It must
+// be called from the owner frame's goroutine with no concurrently
+// running tasks on the queue (a quiescent point such as after Sync).
+func (q *Queue[T]) CheckInvariants(f *sched.Frame) []InvariantViolation {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var out []InvariantViolation
+	report := func(inv int, format string, args ...any) {
+		out = append(out, InvariantViolation{inv, fmt.Sprintf(format, args...)})
+	}
+
+	// Invariant 1: every hyperqueue holds at least one segment; the
+	// queue view's head pointer is local (invariant 2 gives uniqueness).
+	if !q.headView.valid || q.headView.head == nil {
+		report(1, "queue view has no local head segment: %s", q.headView.String())
+		return out
+	}
+
+	// Invariant 3: the tail pointer of the queue view is non-local.
+	if q.headView.tail != nil {
+		report(3, "queue view has a local tail: %s", q.headView.String())
+	}
+
+	// Collect all views reachable from the owner at quiescence: with no
+	// live tasks, only the owner's views exist.
+	qv := q.ownerQV
+	views := map[string]*view[T]{
+		"owner.children": &qv.children,
+		"owner.user":     &qv.user,
+		"owner.right":    &qv.right,
+	}
+
+	// Invariant 3 (second half): the user view's head is non-local
+	// unless the view is empty.
+	if qv.user.valid && qv.user.head != nil {
+		report(3, "owner user view has a local head: %s", qv.user.String())
+	}
+
+	// Walk the segment chain from the queue head; every segment must be
+	// reachable exactly once (invariant 4: one next pointer or one view
+	// head pointer per segment).
+	seen := map[*segment[T]]string{}
+	for s, i := q.headView.head, 0; s != nil; s = s.next.Load() {
+		if prev, dup := seen[s]; dup {
+			report(4, "segment reached twice (%s and chain position %d)", prev, i)
+			break
+		}
+		seen[s] = fmt.Sprintf("chain[%d]", i)
+		i++
+	}
+
+	// Invariant 5: a view's tail pointer, when local, must point to a
+	// segment whose next pointer is nil (the open tail).
+	for name, v := range views {
+		if v.valid && v.tail != nil && v.tail.next.Load() != nil {
+			report(5, "%s tail points to a segment with a next link", name)
+		}
+	}
+
+	// Pair discipline: at quiescence, the queue view's non-local tail
+	// must pair with the owner user view's non-local head (they were
+	// created by the same split at construction or restored by
+	// reductions). An ε user view means all data has been folded and the
+	// pair is closed by children — which must then also be ε or paired.
+	if qv.user.valid && qv.user.head == nil {
+		if qv.children.valid {
+			// children precedes user: children.tail pairs with user.head.
+			if qv.children.tail == nil && qv.children.tailNL != qv.user.headNL {
+				report(7, "children/user non-local pair mismatch: %d vs %d",
+					qv.children.tailNL, qv.user.headNL)
+			}
+		} else if q.headView.tailNL != qv.user.headNL {
+			report(7, "queue/user non-local pair mismatch: %d vs %d",
+				q.headView.tailNL, qv.user.headNL)
+		}
+	}
+
+	// All data linked: at quiescence every produced segment must be
+	// reachable from the head chain (invariant 4's consequence). The
+	// owner views' local pointers must land inside the chain.
+	for name, v := range views {
+		if !v.valid {
+			continue
+		}
+		if v.head != nil {
+			if _, ok := seen[v.head]; !ok {
+				report(4, "%s head segment not reachable from queue head", name)
+			}
+		}
+		if v.tail != nil {
+			if _, ok := seen[v.tail]; !ok {
+				report(4, "%s tail segment not reachable from queue head", name)
+			}
+		}
+	}
+	return out
+}
+
+// MustCheckInvariants panics on the first violation; a convenience for
+// tests.
+func (q *Queue[T]) MustCheckInvariants(f *sched.Frame) {
+	if v := q.CheckInvariants(f); len(v) > 0 {
+		panic("hyperqueue: " + v[0].String())
+	}
+}

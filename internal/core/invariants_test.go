@@ -1,0 +1,124 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/sched"
+)
+
+func TestInvariantsFreshQueue(t *testing.T) {
+	run(1, func(f *sched.Frame) {
+		q := New[int](f)
+		if v := q.CheckInvariants(f); len(v) != 0 {
+			t.Fatalf("fresh queue violates invariants: %v", v)
+		}
+	})
+}
+
+func TestInvariantsAfterOwnerTraffic(t *testing.T) {
+	run(1, func(f *sched.Frame) {
+		q := NewWithCapacity[int](f, 4)
+		for i := 0; i < 20; i++ {
+			q.Push(f, i)
+		}
+		for i := 0; i < 10; i++ {
+			q.Pop(f)
+		}
+		if v := q.CheckInvariants(f); len(v) != 0 {
+			t.Fatalf("after owner traffic: %v", v)
+		}
+	})
+}
+
+func TestInvariantsAfterParallelProducers(t *testing.T) {
+	run(8, func(f *sched.Frame) {
+		q := NewWithCapacity[int](f, 4)
+		for p := 0; p < 10; p++ {
+			base := p * 100
+			f.Spawn(func(c *sched.Frame) {
+				for i := 0; i < 25; i++ {
+					q.Push(c, base+i)
+				}
+			}, Push(q))
+		}
+		f.Sync()
+		if v := q.CheckInvariants(f); len(v) != 0 {
+			t.Fatalf("after parallel producers: %v", v)
+		}
+		// All 250 values reachable in order.
+		for p := 0; p < 10; p++ {
+			for i := 0; i < 25; i++ {
+				if got := q.Pop(f); got != p*100+i {
+					t.Fatalf("Pop = %d, want %d", got, p*100+i)
+				}
+			}
+		}
+		if v := q.CheckInvariants(f); len(v) != 0 {
+			t.Fatalf("after draining: %v", v)
+		}
+	})
+}
+
+func TestInvariantsAfterMixedWorkload(t *testing.T) {
+	for seed := 0; seed < 20; seed++ {
+		g := &progGen{r: rng.New(uint64(seed) + 500), oracle: make(map[int][]int)}
+		root := g.gen(ModePushPop, 3)
+		sched.New(8).Run(func(f *sched.Frame) {
+			q := NewWithCapacity[int](f, 3)
+			var exec func(f *sched.Frame, td *taskDef)
+			exec = func(f *sched.Frame, td *taskDef) {
+				for _, a := range td.acts {
+					switch a.kind {
+					case actPush:
+						q.Push(f, a.val)
+					case actSpawn:
+						child := a.child
+						var dep sched.Dep
+						switch child.mode {
+						case ModePush:
+							dep = Push(q)
+						case ModePop:
+							dep = Pop(q)
+						default:
+							dep = PushPop(q)
+						}
+						f.Spawn(func(c *sched.Frame) { exec(c, child) }, dep)
+					case actPopN:
+						for j := 0; j < a.n; j++ {
+							q.Pop(f)
+						}
+					case actDrain:
+						for !q.Empty(f) {
+							q.Pop(f)
+						}
+					}
+				}
+			}
+			exec(f, root)
+			f.Sync()
+			if v := q.CheckInvariants(f); len(v) != 0 {
+				panic("seed violates invariants")
+			}
+		})
+	}
+}
+
+func TestInvariantsDeepTree(t *testing.T) {
+	run(4, func(f *sched.Frame) {
+		q := NewWithCapacity[int](f, 2)
+		var descend func(c *sched.Frame, d int)
+		descend = func(c *sched.Frame, d int) {
+			q.Push(c, d)
+			if d == 0 {
+				return
+			}
+			c.Spawn(func(g *sched.Frame) { descend(g, d-1) }, Push(q))
+		}
+		f.Spawn(func(c *sched.Frame) { descend(c, 30) }, Push(q))
+		f.Sync()
+		if v := q.CheckInvariants(f); len(v) != 0 {
+			t.Fatalf("deep tree: %v", v)
+		}
+	})
+}

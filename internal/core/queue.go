@@ -1,0 +1,418 @@
+// Package core implements hyperqueues, the paper's primary contribution
+// (SC 2013, "Deterministic Scale-Free Pipeline Parallelism with
+// Hyperqueues"): a deterministic queue abstraction whose values are
+// exposed to the (single) consumer in serial program order, while many
+// producer tasks push concurrently and the consumer pops concurrently
+// with them.
+//
+// The implementation follows §3–§4 of the paper:
+//
+//   - the underlying storage is a linked chain of fixed-size SPSC ring
+//     segments (segment.go);
+//   - partial chains are tracked by views with local/non-local ends and
+//     combined with split and reduce (view.go);
+//   - every task holding privileges on a queue carries the view set
+//     {children, user, right} (plus the conceptual queue view for
+//     consumers), updated at push, spawn, completion and sync per §4.1–4.2;
+//   - the queue view is stored once in the queue itself with ticket-based
+//     ownership arbitration, the variant the paper sketches in §4.5
+//     ("Special Optimization") for the queue hypermap;
+//   - the per-segment producing flag of §3.2 is realized as a registry of
+//     live producer tasks plus program-order labels: Empty blocks while
+//     any producer that precedes the consumer in the serial elision is
+//     still live, which is the same observable condition.
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/sched"
+)
+
+// emptySpins bounds the in-slot spin of Empty before it falls back to a
+// blocking wait (see Empty).
+const emptySpins = 128
+
+// AccessMode is the set of privileges a task holds on a hyperqueue
+// (§2.1): push, pop, or both.
+type AccessMode uint8
+
+const (
+	// ModePush corresponds to pushdep: the task may push values.
+	ModePush AccessMode = 1 << iota
+	// ModePop corresponds to popdep: the task may pop values and test
+	// Empty.
+	ModePop
+	// ModePushPop corresponds to pushpopdep.
+	ModePushPop = ModePush | ModePop
+)
+
+func (m AccessMode) String() string {
+	switch m {
+	case ModePush:
+		return "pushdep"
+	case ModePop:
+		return "popdep"
+	case ModePushPop:
+		return "pushpopdep"
+	}
+	return "invalid"
+}
+
+// DefaultSegmentCapacity is the queue segment length used when the
+// program does not tune it (§5.1 discusses tuning).
+const DefaultSegmentCapacity = 256
+
+// Queue is a hyperqueue of values of type T. Create one with New inside a
+// task; pass privileges to child tasks by spawning them with Push, Pop or
+// PushPop dependences. The task that created the queue holds both
+// privileges, like the paper's top-level task.
+type Queue[T any] struct {
+	mu     sync.Mutex
+	cond   *sync.Cond // signals: data linked, producer retired, consumer ticket served
+	segCap int
+	nlctr  uint64
+
+	// headView is the unique queue view (invariant 2). Its head pointer is
+	// manipulated only by the task currently holding the consumer role;
+	// role handoff is ticket-based (see qviews.popTickets/popServed).
+	headView view[T]
+
+	// producers holds the frames of live push-privileged tasks, used by
+	// Empty's visibility test.
+	producers map[*sched.Frame]struct{}
+
+	owner   *sched.Frame
+	ownerQV *qviews[T]
+
+	// waiters counts consumers blocked in Empty/Pop so producers can skip
+	// the wake-up lock on the fast path.
+	waiters int32
+}
+
+// qviews is the per-(task, queue) view set of §4: children, user and
+// right views, plus the bookkeeping that ties the task into the queue's
+// program-order structures.
+//
+// Locking: user is private to the frame's goroutine (it is only touched
+// by the frame's own push/sync/complete and by Prepare calls the frame
+// itself makes). children and right are shared — siblings deposit into
+// them — and are guarded by Queue.mu, as are the sibling links.
+type qviews[T any] struct {
+	q     *Queue[T]
+	frame *sched.Frame
+	mode  AccessMode
+
+	user     view[T]
+	children view[T] // guarded by q.mu
+	right    view[T] // guarded by q.mu
+
+	// Live-sibling chain among children (holding views on q) of the same
+	// parent, in program order. Guarded by q.mu.
+	parentQV   *qviews[T]
+	prev, next *qviews[T]
+	childHead  *qviews[T]
+	childTail  *qviews[T]
+
+	// Consumer serialization (§2.3 rule 3): pop-privileged children of
+	// this frame execute one at a time, in spawn order, and the frame's
+	// own pops wait for all of them. Guarded by q.mu.
+	popTickets int64
+	popServed  int64
+	popTicket  int64 // this task's ticket within parentQV
+}
+
+type queueKey[T any] struct{ q *Queue[T] }
+
+// New creates a hyperqueue owned by frame f with the default segment
+// capacity.
+func New[T any](f *sched.Frame) *Queue[T] { return NewWithCapacity[T](f, DefaultSegmentCapacity) }
+
+// NewWithCapacity creates a hyperqueue owned by frame f whose segments
+// hold segCap values each (§5.1, queue segment length tuning). The
+// initial segment is created immediately (invariant 1) and the queue and
+// user views are formed by splitting the local view on it (§4.1).
+func NewWithCapacity[T any](f *sched.Frame, segCap int) *Queue[T] {
+	if segCap < 1 {
+		segCap = 1
+	}
+	q := &Queue[T]{segCap: segCap, owner: f, producers: make(map[*sched.Frame]struct{})}
+	q.cond = sync.NewCond(&q.mu)
+	s0 := newSegment[T](segCap)
+	qv := &qviews[T]{q: q, frame: f, mode: ModePushPop}
+	q.nlctr++
+	q.headView, qv.user = split(s0, q.nlctr)
+	q.ownerQV = qv
+	f.SetAttachment(queueKey[T]{q}, qv)
+	f.AddSyncHook(func() { q.syncHook(qv) })
+	return q
+}
+
+// viewsOf returns the view set frame f holds on q, or nil.
+func (q *Queue[T]) viewsOf(f *sched.Frame) *qviews[T] {
+	v, _ := f.Attachment(queueKey[T]{q}).(*qviews[T])
+	return v
+}
+
+func (q *Queue[T]) mustViews(f *sched.Frame, need AccessMode) *qviews[T] {
+	qv := q.viewsOf(f)
+	if qv == nil {
+		panic("hyperqueue: task holds no privileges on this queue; spawn it with a queue dependence")
+	}
+	if qv.mode&need != need {
+		panic("hyperqueue: task lacks " + need.String() + " privilege (holds " + qv.mode.String() + ")")
+	}
+	return qv
+}
+
+// syncHook folds the children view into the user view at a sync point
+// (§4.2, "Sync"): user ← reduce(children, user).
+func (q *Queue[T]) syncHook(qv *qviews[T]) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	reduce(&qv.children, &qv.user)
+	qv.children, qv.user = qv.user, qv.children // result belongs in user; children becomes ε
+}
+
+// Push appends v to the queue in the pushing task's position of serial
+// program order (§4.1). The fast path appends to the user view's tail
+// segment without locks; a new segment is linked when the current one is
+// full, and the head-sharing protocol runs when the task has no user
+// view.
+func (q *Queue[T]) Push(f *sched.Frame, v T) {
+	qv := q.mustViews(f, ModePush)
+	if !qv.user.valid {
+		q.attachFreshSegment(qv)
+	}
+	seg := qv.user.tail
+	if seg == nil {
+		panic("hyperqueue: user view has non-local tail at push (internal invariant broken)")
+	}
+	if seg.full() {
+		snew := newSegment[T](q.segCap)
+		seg.next.Store(snew) // tail ownership: only this task may link here
+		qv.user.tail = snew
+		seg = snew
+	}
+	seg.push(v)
+	q.wakeConsumer()
+}
+
+// attachFreshSegment implements the §4.1 protocol for a push into an
+// empty user view: create a segment, split the local view on it, keep the
+// tail-only half as the user view and hand the head-only half to the
+// immediately preceding view in program order so the consumer can
+// discover it as early as possible (the "double reduction" of §4.5).
+func (q *Queue[T]) attachFreshSegment(qv *qviews[T]) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	snew := newSegment[T](q.segCap)
+	q.nlctr++
+	tmp, user := split(snew, q.nlctr)
+	qv.user = user
+	q.shareHead(qv, tmp)
+}
+
+// shareHead deposits a head-only view into the nearest preceding live
+// view in program order (§4.1): the pusher's youngest live child, else
+// its own children view, else — climbing the spawn tree — the nearest
+// live elder sibling's right view or an ancestor's children view, ending
+// at the queue owner's children view. Caller holds q.mu.
+func (q *Queue[T]) shareHead(qv *qviews[T], tmp view[T]) {
+	if yc := qv.childTail; yc != nil {
+		reduce(&yc.right, &tmp)
+		return
+	}
+	if qv.children.valid {
+		reduce(&qv.children, &tmp)
+		return
+	}
+	cur := qv
+	for cur.parentQV != nil {
+		if s := cur.prev; s != nil {
+			reduce(&s.right, &tmp)
+			return
+		}
+		p := cur.parentQV
+		if p.children.valid {
+			reduce(&p.children, &tmp)
+			return
+		}
+		cur = p
+	}
+	// Top-level (queue owner): merge with its children view (§4.1).
+	reduce(&cur.children, &tmp)
+}
+
+// depositCompleted folds a completed task's user view into its nearest
+// live elder sibling's right view, or its parent's children view (§4.2,
+// "Return from spawn with push privileges"). Caller holds q.mu.
+func (q *Queue[T]) depositCompleted(qv *qviews[T]) {
+	reduce(&qv.user, &qv.right)
+	if s := qv.prev; s != nil {
+		reduce(&s.right, &qv.user)
+		return
+	}
+	reduce(&qv.parentQV.children, &qv.user)
+}
+
+// wakeConsumer wakes a consumer blocked in Empty or Pop, if any.
+func (q *Queue[T]) wakeConsumer() {
+	q.mu.Lock()
+	if q.waiters > 0 {
+		q.cond.Broadcast()
+	}
+	q.mu.Unlock()
+}
+
+// visibleProducerLive reports whether any live producer's values could
+// still become visible to consumer frame cf: a producer that precedes cf
+// in the serial elision (and is not an ancestor — an ancestor's
+// post-spawn pushes are hidden in cf's right view by rule 4), or a
+// descendant of cf (spawned by cf before this pop, hence ordered before
+// it). Caller holds q.mu.
+func (q *Queue[T]) visibleProducerLive(cf *sched.Frame) bool {
+	for pf := range q.producers {
+		if pf == cf {
+			continue
+		}
+		if cf.IsAncestorOf(pf) {
+			return true
+		}
+		if pf.Before(cf) && !pf.IsAncestorOf(cf) {
+			return true
+		}
+	}
+	return false
+}
+
+// acquireConsumer blocks until frame f holds the consumer role: all pop
+// tasks it has spawned so far on this queue have completed (§2.3 rule 3;
+// §5.5 explains that a frame whose queue view is away simply blocks).
+// The worker slot is released while waiting. Caller must not hold q.mu.
+func (q *Queue[T]) acquireConsumer(f *sched.Frame, qv *qviews[T]) {
+	q.mu.Lock()
+	if qv.popServed == qv.popTickets {
+		q.mu.Unlock()
+		return
+	}
+	q.mu.Unlock()
+	f.Runtime().Block(func() {
+		q.mu.Lock()
+		q.waiters++
+		for qv.popServed != qv.popTickets {
+			q.cond.Wait()
+		}
+		q.waiters--
+		q.mu.Unlock()
+	})
+}
+
+// reachableData advances the queue view's head across drained segments
+// and reports whether a value is available to pop. Only the consumer-role
+// holder may call it. It takes no lock: the head pointer and ring indices
+// are consumer-owned, and next links are published with atomic stores.
+func (q *Queue[T]) reachableData() bool {
+	for {
+		s := q.headView.head
+		if s.size() > 0 {
+			return true
+		}
+		n := s.next.Load()
+		if n == nil {
+			return false
+		}
+		// The segment is drained and abandoned by its producer (a next
+		// link exists only once the producer moved on); follow the chain.
+		// Re-check emptiness afterwards: a value may have landed between
+		// the size check and the link load.
+		if s.size() > 0 {
+			return true
+		}
+		q.headView.head = n
+	}
+}
+
+// Empty reports whether the queue is permanently empty for this task: it
+// returns false when a value is available to pop, and true only when it
+// is certain no more values visible to this task will arrive (§2.1). It
+// blocks while the answer is undecided, releasing the worker slot.
+func (q *Queue[T]) Empty(f *sched.Frame) bool {
+	qv := q.mustViews(f, ModePop)
+	q.acquireConsumer(f, qv)
+	if q.reachableData() {
+		return false
+	}
+	// Spin briefly while holding the worker slot: in steady state the
+	// next value is microseconds away, and the consumer is typically the
+	// pipeline's serial bottleneck — parking it would put it at the back
+	// of the worker-slot queue behind every pending producer task. This
+	// approximates the paper's choice to block the worker (§4.5) while
+	// still falling back to a slot-releasing wait, which keeps pathological
+	// programs deadlock-free.
+	for i := 0; i < emptySpins; i++ {
+		runtime.Gosched()
+		if q.reachableData() {
+			return false
+		}
+	}
+	q.mu.Lock()
+	live := q.visibleProducerLive(f)
+	q.mu.Unlock()
+	if !live {
+		return !q.reachableData()
+	}
+	empty := false
+	f.Runtime().Block(func() {
+		q.mu.Lock()
+		q.waiters++
+		for {
+			if q.reachableData() {
+				break
+			}
+			if !q.visibleProducerLive(f) {
+				empty = !q.reachableData()
+				break
+			}
+			q.cond.Wait()
+		}
+		q.waiters--
+		q.mu.Unlock()
+	})
+	return empty
+}
+
+// Pop removes and returns the value at the head of the queue. Calling Pop
+// when Empty would report true is an error and panics, as in the paper
+// ("popping elements from an empty queue is an error"). Pop blocks while
+// the head value has not yet been produced.
+func (q *Queue[T]) Pop(f *sched.Frame) T {
+	if q.Empty(f) {
+		panic("hyperqueue: pop on permanently empty queue")
+	}
+	return q.headView.head.pop()
+}
+
+// TryPop is a non-blocking variant used by slice-style consumers: it
+// returns the head value if one is immediately reachable.
+func (q *Queue[T]) TryPop(f *sched.Frame) (T, bool) {
+	qv := q.mustViews(f, ModePop)
+	q.acquireConsumer(f, qv)
+	if !q.reachableData() {
+		var zero T
+		return zero, false
+	}
+	return q.headView.head.pop(), true
+}
+
+// SyncPop suspends the calling frame until all of its child tasks with
+// pop privileges on this queue have completed — the paper's selective
+// sync, "sync (popdep<int>)queue;" (§5.5).
+func (q *Queue[T]) SyncPop(f *sched.Frame) {
+	qv := q.mustViews(f, ModePop)
+	q.acquireConsumer(f, qv)
+}
+
+// SegmentCapacity reports the configured segment length.
+func (q *Queue[T]) SegmentCapacity() int { return q.segCap }

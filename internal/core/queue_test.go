@@ -1,0 +1,534 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+)
+
+func run(workers int, fn func(*sched.Frame)) {
+	sched.New(workers).Run(fn)
+}
+
+func TestOwnerInlinePushPop(t *testing.T) {
+	run(2, func(f *sched.Frame) {
+		q := New[int](f)
+		for i := 0; i < 10; i++ {
+			q.Push(f, i)
+		}
+		for i := 0; i < 10; i++ {
+			if got := q.Pop(f); got != i {
+				t.Errorf("Pop = %d, want %d", got, i)
+			}
+		}
+		if !q.Empty(f) {
+			t.Error("queue should be empty")
+		}
+	})
+}
+
+func TestSegmentOverflowChains(t *testing.T) {
+	run(1, func(f *sched.Frame) {
+		q := NewWithCapacity[int](f, 4) // force many segments
+		const n = 100
+		for i := 0; i < n; i++ {
+			q.Push(f, i)
+		}
+		for i := 0; i < n; i++ {
+			if got := q.Pop(f); got != i {
+				t.Fatalf("Pop = %d, want %d", got, i)
+			}
+		}
+	})
+}
+
+func TestSegmentCapacityOne(t *testing.T) {
+	run(1, func(f *sched.Frame) {
+		q := NewWithCapacity[string](f, 1)
+		q.Push(f, "a")
+		q.Push(f, "b")
+		q.Push(f, "c")
+		for _, want := range []string{"a", "b", "c"} {
+			if got := q.Pop(f); got != want {
+				t.Fatalf("Pop = %q, want %q", got, want)
+			}
+		}
+	})
+}
+
+func TestRingReuseSteadyState(t *testing.T) {
+	// Alternating push/pop in one segment exercises ring wrap-around many
+	// times over (the paper's zero-allocation steady state).
+	run(1, func(f *sched.Frame) {
+		q := NewWithCapacity[int](f, 8)
+		for i := 0; i < 1000; i++ {
+			q.Push(f, i)
+			if got := q.Pop(f); got != i {
+				t.Fatalf("Pop = %d, want %d", got, i)
+			}
+		}
+	})
+}
+
+// TestFigure2Pipeline is the paper's Figure 2: a recursive
+// divide-and-conquer producer and a single consumer, running
+// concurrently. The consumer must see f(0), f(1), ... in order.
+func TestFigure2Pipeline(t *testing.T) {
+	const total = 500
+	var got []int
+	run(4, func(f *sched.Frame) {
+		q := New[int](f)
+		var producer func(c *sched.Frame, start, end int)
+		producer = func(c *sched.Frame, start, end int) {
+			if end-start <= 10 {
+				for n := start; n < end; n++ {
+					q.Push(c, n*n) // f(n) = n²
+				}
+				return
+			}
+			mid := (start + end) / 2
+			c.Spawn(func(g *sched.Frame) { producer(g, start, mid) }, Push(q))
+			c.Spawn(func(g *sched.Frame) { producer(g, mid, end) }, Push(q))
+			c.Sync()
+		}
+		f.Spawn(func(c *sched.Frame) { producer(c, 0, total) }, Push(q))
+		f.Spawn(func(c *sched.Frame) {
+			for !q.Empty(c) {
+				got = append(got, q.Pop(c))
+			}
+		}, Pop(q))
+		f.Sync()
+	})
+	if len(got) != total {
+		t.Fatalf("consumed %d values, want %d", len(got), total)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("got[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+// TestFigure3FlatProducer is the paper's Figure 3: a shallow spawn tree
+// where every leaf is spawned from one loop.
+func TestFigure3FlatProducer(t *testing.T) {
+	const total = 300
+	var got []int
+	run(4, func(f *sched.Frame) {
+		q := New[int](f)
+		f.Spawn(func(c *sched.Frame) {
+			for n := 0; n < total; n += 10 {
+				start := n
+				end := n + 10
+				c.Spawn(func(g *sched.Frame) {
+					for i := start; i < end; i++ {
+						q.Push(g, i)
+					}
+				}, Push(q))
+			}
+			c.Sync()
+		}, Push(q))
+		f.Spawn(func(c *sched.Frame) {
+			for !q.Empty(c) {
+				got = append(got, q.Pop(c))
+			}
+		}, Pop(q))
+		f.Sync()
+	})
+	if len(got) != total {
+		t.Fatalf("consumed %d, want %d", len(got), total)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got[%d] = %d, want %d (order broken)", i, v, i)
+		}
+	}
+}
+
+// TestInterleavedConsumers checks pop-task serialization and the handoff
+// of remaining values: C1 pops a prefix, C2 pops the rest plus values
+// from a later producer.
+func TestInterleavedConsumers(t *testing.T) {
+	var c1got, c2got []int
+	run(4, func(f *sched.Frame) {
+		q := New[int](f)
+		f.Spawn(func(c *sched.Frame) {
+			for i := 0; i < 10; i++ {
+				q.Push(c, i)
+			}
+		}, Push(q))
+		f.Spawn(func(c *sched.Frame) {
+			for i := 0; i < 5; i++ {
+				c1got = append(c1got, q.Pop(c))
+			}
+		}, Pop(q))
+		f.Spawn(func(c *sched.Frame) {
+			for i := 10; i < 20; i++ {
+				q.Push(c, i)
+			}
+		}, Push(q))
+		f.Spawn(func(c *sched.Frame) {
+			for !q.Empty(c) {
+				c2got = append(c2got, q.Pop(c))
+			}
+		}, Pop(q))
+		f.Sync()
+	})
+	for i, v := range c1got {
+		if v != i {
+			t.Fatalf("c1got[%d] = %d, want %d", i, v, i)
+		}
+	}
+	if len(c2got) != 15 {
+		t.Fatalf("c2 consumed %d, want 15 (got %v)", len(c2got), c2got)
+	}
+	for i, v := range c2got {
+		if v != i+5 {
+			t.Fatalf("c2got[%d] = %d, want %d", i, v, i+5)
+		}
+	}
+}
+
+// TestRule4Invisibility: a producer spawned after a consumer must be
+// invisible to it (§2.3 rule 4), even though it runs concurrently.
+func TestRule4Invisibility(t *testing.T) {
+	var consumerSaw []int
+	var ownerSaw []int
+	run(4, func(f *sched.Frame) {
+		q := New[int](f)
+		f.Spawn(func(c *sched.Frame) {
+			for !q.Empty(c) {
+				consumerSaw = append(consumerSaw, q.Pop(c))
+			}
+		}, Pop(q))
+		f.Spawn(func(c *sched.Frame) {
+			q.Push(c, 42)
+			q.Push(c, 43)
+		}, Push(q))
+		f.Sync()
+		// The owner, after sync, must find the younger producer's values.
+		for !q.Empty(f) {
+			ownerSaw = append(ownerSaw, q.Pop(f))
+		}
+	})
+	if len(consumerSaw) != 0 {
+		t.Fatalf("consumer saw %v; younger producer leaked (rule 4)", consumerSaw)
+	}
+	if len(ownerSaw) != 2 || ownerSaw[0] != 42 || ownerSaw[1] != 43 {
+		t.Fatalf("owner saw %v, want [42 43]", ownerSaw)
+	}
+}
+
+// TestEmptyTrueWhenProducerPushesNothing: a push task is not required to
+// push (§2.1); Empty must still resolve to true.
+func TestEmptyTrueWhenProducerPushesNothing(t *testing.T) {
+	run(2, func(f *sched.Frame) {
+		q := New[int](f)
+		f.Spawn(func(c *sched.Frame) {}, Push(q))
+		var empty bool
+		f.Spawn(func(c *sched.Frame) { empty = q.Empty(c) }, Pop(q))
+		f.Sync()
+		if !empty {
+			t.Error("Empty = false with no values ever pushed")
+		}
+	})
+}
+
+// TestDestroyedWithValuesInside: dropping a queue with values left is
+// legal (§2.1).
+func TestDestroyedWithValuesInside(t *testing.T) {
+	run(2, func(f *sched.Frame) {
+		q := New[int](f)
+		f.Spawn(func(c *sched.Frame) {
+			for i := 0; i < 100; i++ {
+				q.Push(c, i)
+			}
+		}, Push(q))
+		f.Spawn(func(c *sched.Frame) {
+			if q.Pop(c) != 0 {
+				t.Error("first value wrong")
+			}
+			// Leaves 99 values inside.
+		}, Pop(q))
+		f.Sync()
+	})
+}
+
+// TestFigure5LoopSplit is the paper's Figure 5: the main iteration loop
+// hoisted outside the tasks; the producer runs inline in the owner,
+// consumers are spawned per block.
+func TestFigure5LoopSplit(t *testing.T) {
+	const blocks = 20
+	var got []int
+	var mu chanLock
+	run(4, func(f *sched.Frame) {
+		q := New[int](f)
+		next := 0
+		producer := func(block int) bool {
+			for i := 0; i < block; i++ {
+				q.Push(f, next)
+				next++
+			}
+			return next < blocks*10
+		}
+		for producer(10) {
+			f.Spawn(func(c *sched.Frame) {
+				for !q.Empty(c) {
+					v := q.Pop(c)
+					mu.Lock()
+					got = append(got, v)
+					mu.Unlock()
+				}
+			}, Pop(q))
+		}
+		f.Sync()
+		for !q.Empty(f) {
+			got = append(got, q.Pop(f))
+		}
+	})
+	if len(got) != blocks*10 {
+		t.Fatalf("consumed %d, want %d", len(got), blocks*10)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got[%d] = %d; order broken", i, v)
+		}
+	}
+}
+
+// chanLock is a tiny mutex usable inside tests without importing sync.
+type chanLock struct{ ch chan struct{} }
+
+func (l *chanLock) Lock() {
+	if l.ch == nil {
+		l.ch = make(chan struct{}, 1)
+	}
+	l.ch <- struct{}{}
+}
+func (l *chanLock) Unlock() { <-l.ch }
+
+// TestFigure6SelectiveSync is the paper's Figure 6: the owner pushes
+// through child producers, a consumer runs, and the owner's own
+// empty/pop blocks until the consumer is done, then proceeds.
+func TestFigure6SelectiveSync(t *testing.T) {
+	run(4, func(f *sched.Frame) {
+		q := New[int](f)
+		f.Spawn(func(c *sched.Frame) { q.Push(c, 1) }, Push(q))
+		f.Spawn(func(c *sched.Frame) {
+			for !q.Empty(c) {
+				q.Pop(c)
+			}
+		}, Pop(q))
+		f.Spawn(func(c *sched.Frame) { q.Push(c, 2) }, Push(q))
+		// SyncPop suspends until the consumer is done (§5.5).
+		q.SyncPop(f)
+		if q.Empty(f) {
+			t.Error("queue empty; producer after consumer lost its value")
+		} else if got := q.Pop(f); got != 2 {
+			t.Errorf("Pop = %d, want 2", got)
+		}
+	})
+}
+
+func TestPushPopTaskSeesOwnDescendants(t *testing.T) {
+	var got []int
+	run(4, func(f *sched.Frame) {
+		q := New[int](f)
+		f.Spawn(func(m *sched.Frame) {
+			m.Spawn(func(p *sched.Frame) {
+				q.Push(p, 1)
+				q.Push(p, 2)
+			}, Push(q))
+			// The child producer precedes these pops in serial program
+			// order, so its values are visible here.
+			got = append(got, q.Pop(m), q.Pop(m))
+		}, PushPop(q))
+		f.Sync()
+	})
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("got %v, want [1 2]", got)
+	}
+}
+
+func TestTryPop(t *testing.T) {
+	run(1, func(f *sched.Frame) {
+		q := New[int](f)
+		if _, ok := q.TryPop(f); ok {
+			t.Error("TryPop on empty queue returned a value")
+		}
+		q.Push(f, 7)
+		v, ok := q.TryPop(f)
+		if !ok || v != 7 {
+			t.Errorf("TryPop = %d,%v, want 7,true", v, ok)
+		}
+	})
+}
+
+func TestPopOnEmptyPanics(t *testing.T) {
+	run(1, func(f *sched.Frame) {
+		q := New[int](f)
+		defer func() {
+			if recover() == nil {
+				t.Error("Pop on permanently empty queue did not panic")
+			}
+		}()
+		q.Pop(f)
+	})
+}
+
+func TestPushWithoutPrivilegePanics(t *testing.T) {
+	run(2, func(f *sched.Frame) {
+		q := New[int](f)
+		f.Spawn(func(c *sched.Frame) {
+			defer func() {
+				if recover() == nil {
+					t.Error("push from pop-only task did not panic")
+				}
+			}()
+			q.Push(c, 1)
+		}, Pop(q))
+		f.Sync()
+	})
+}
+
+func TestSubsetRuleViolationPanics(t *testing.T) {
+	run(2, func(f *sched.Frame) {
+		q := New[int](f)
+		f.Spawn(func(c *sched.Frame) {
+			defer func() {
+				if recover() == nil {
+					t.Error("delegating pop from a push-only task did not panic")
+				}
+			}()
+			c.Spawn(func(*sched.Frame) {}, Pop(q)) // push-only task grants pop: illegal (§2.3)
+		}, Push(q))
+		f.Sync()
+	})
+}
+
+func TestNoPrivilegePanics(t *testing.T) {
+	run(2, func(f *sched.Frame) {
+		q := New[int](f)
+		f.Spawn(func(c *sched.Frame) {
+			defer func() {
+				if recover() == nil {
+					t.Error("push from undeclared task did not panic")
+				}
+			}()
+			q.Push(c, 1)
+		}) // no queue dep at all
+		f.Sync()
+	})
+}
+
+func TestTwoQueuesIndependent(t *testing.T) {
+	// dedup's shape: one task pops from a local queue and pushes to a
+	// global one.
+	const n = 200
+	var got []int
+	run(4, func(f *sched.Frame) {
+		qa := New[int](f)
+		qb := New[int](f)
+		f.Spawn(func(c *sched.Frame) {
+			for i := 0; i < n; i++ {
+				qa.Push(c, i)
+			}
+		}, Push(qa))
+		f.Spawn(func(c *sched.Frame) {
+			for !qa.Empty(c) {
+				qb.Push(c, qa.Pop(c)*2)
+			}
+		}, Pop(qa), Push(qb))
+		f.Spawn(func(c *sched.Frame) {
+			for !qb.Empty(c) {
+				got = append(got, qb.Pop(c))
+			}
+		}, Pop(qb))
+		f.Sync()
+	})
+	if len(got) != n {
+		t.Fatalf("consumed %d, want %d", len(got), n)
+	}
+	for i, v := range got {
+		if v != i*2 {
+			t.Fatalf("got[%d] = %d, want %d", i, v, i*2)
+		}
+	}
+}
+
+func TestStringTypeQueue(t *testing.T) {
+	run(2, func(f *sched.Frame) {
+		q := New[string](f)
+		f.Spawn(func(c *sched.Frame) {
+			q.Push(c, "hello")
+			q.Push(c, "world")
+		}, Push(q))
+		f.Sync()
+		if q.Pop(f) != "hello" || q.Pop(f) != "world" {
+			t.Error("string values corrupted")
+		}
+	})
+}
+
+func TestSegmentCapacityAccessor(t *testing.T) {
+	run(1, func(f *sched.Frame) {
+		if NewWithCapacity[int](f, 17).SegmentCapacity() != 17 {
+			t.Error("SegmentCapacity mismatch")
+		}
+		if NewWithCapacity[int](f, 0).SegmentCapacity() != 1 {
+			t.Error("capacity not clamped to 1")
+		}
+	})
+}
+
+// TestCallWithPushPrivileges covers §4.2's "Call and return from call
+// with push privileges": calls are treated like spawns for hyperqueue
+// purposes, foregoing concurrency.
+func TestCallWithPushPrivileges(t *testing.T) {
+	var got []int
+	run(4, func(f *sched.Frame) {
+		q := New[int](f)
+		f.Call(func(c *sched.Frame) {
+			q.Push(c, 1)
+			q.Push(c, 2)
+		}, Push(q))
+		q.Push(f, 3) // owner resumes pushing after the call returns
+		f.Spawn(func(c *sched.Frame) {
+			for !q.Empty(c) {
+				got = append(got, q.Pop(c))
+			}
+		}, Pop(q))
+		f.Sync()
+	})
+	want := []int{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCallWithPopPrivileges(t *testing.T) {
+	run(4, func(f *sched.Frame) {
+		q := New[int](f)
+		f.Spawn(func(c *sched.Frame) {
+			q.Push(c, 10)
+			q.Push(c, 11)
+		}, Push(q))
+		var inCall []int
+		f.Call(func(c *sched.Frame) {
+			inCall = append(inCall, q.Pop(c), q.Pop(c))
+		}, Pop(q))
+		if len(inCall) != 2 || inCall[0] != 10 || inCall[1] != 11 {
+			t.Errorf("call consumed %v, want [10 11]", inCall)
+		}
+		// The queue view is back with the owner after the call.
+		q.Push(f, 12)
+		if got := q.Pop(f); got != 12 {
+			t.Errorf("owner pop after call = %d, want 12", got)
+		}
+	})
+}

@@ -1,0 +1,102 @@
+package core
+
+import "sync/atomic"
+
+// segment is one fixed-size queue segment (§3.2): a single-producer,
+// single-consumer circular buffer (Lamport, TOPLAS 1983) with a link to
+// the next segment in the hyperqueue's chain.
+//
+// Ownership discipline:
+//   - tail (and the slots it guards) are written only by the one producer
+//     task currently holding a local tail pointer to the segment
+//     (invariant 5: at most one view's tail pointer).
+//   - head is written only by the one consumer task holding the queue
+//     view (invariant 2: exactly one queue view with a local head).
+//   - next is written once, by the producer that abandons the segment
+//     (push into a full segment) or by a reduction linking two chains;
+//     both cases are serialized by the queue's structural mutex or by
+//     tail ownership.
+//
+// A producer and a consumer sharing one segment reuse it as a ring,
+// giving the paper's zero-allocation steady state.
+type segment[T any] struct {
+	buf  []T
+	head atomic.Int64 // next index to pop (mod len(buf))
+	tail atomic.Int64 // next index to push (mod len(buf))
+	next atomic.Pointer[segment[T]]
+}
+
+func newSegment[T any](capacity int) *segment[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &segment[T]{buf: make([]T, capacity)}
+}
+
+// size reports the number of values currently stored.
+func (s *segment[T]) size() int64 { return s.tail.Load() - s.head.Load() }
+
+// full reports whether a push would not fit.
+func (s *segment[T]) full() bool { return s.size() >= int64(len(s.buf)) }
+
+// push appends v. The caller must be the owning producer and must have
+// checked !full(); push on a full segment panics.
+func (s *segment[T]) push(v T) {
+	t := s.tail.Load()
+	if t-s.head.Load() >= int64(len(s.buf)) {
+		panic("hyperqueue: push on full segment")
+	}
+	s.buf[t%int64(len(s.buf))] = v
+	s.tail.Store(t + 1) // release: publishes buf[t] to the consumer
+}
+
+// pop removes and returns the oldest value. The caller must be the owning
+// consumer and must have checked size() > 0.
+func (s *segment[T]) pop() T {
+	h := s.head.Load()
+	if s.tail.Load()-h <= 0 {
+		panic("hyperqueue: pop on empty segment")
+	}
+	i := h % int64(len(s.buf))
+	v := s.buf[i]
+	var zero T
+	s.buf[i] = zero // drop the reference for the garbage collector
+	s.head.Store(h + 1)
+	return v
+}
+
+// peek returns the oldest value without removing it.
+func (s *segment[T]) peek() T {
+	h := s.head.Load()
+	if s.tail.Load()-h <= 0 {
+		panic("hyperqueue: peek on empty segment")
+	}
+	return s.buf[h%int64(len(s.buf))]
+}
+
+// contiguousReadable returns the index of the oldest value and how many
+// values can be read from buf without wrapping. Used by read slices
+// (§5.2).
+func (s *segment[T]) contiguousReadable() (start, n int64) {
+	h := s.head.Load()
+	avail := s.tail.Load() - h
+	i := h % int64(len(s.buf))
+	span := int64(len(s.buf)) - i
+	if avail < span {
+		span = avail
+	}
+	return i, span
+}
+
+// contiguousWritable returns the index of the next free slot and how many
+// values can be written without wrapping. Used by write slices (§5.2).
+func (s *segment[T]) contiguousWritable() (start, n int64) {
+	t := s.tail.Load()
+	free := int64(len(s.buf)) - (t - s.head.Load())
+	i := t % int64(len(s.buf))
+	span := int64(len(s.buf)) - i
+	if free < span {
+		span = free
+	}
+	return i, span
+}

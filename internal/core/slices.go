@@ -1,0 +1,93 @@
+package core
+
+import "repro/internal/sched"
+
+// Queue slices (§5.2): direct access to a queue segment, "as fast as an
+// array access". A read slice exposes contiguous already-produced values
+// at the head; a write slice exposes contiguous free space at the tail.
+// Both are bounded by a single segment, so a shorter slice than requested
+// may be returned, exactly as the paper specifies.
+
+// ReadSlice returns up to max already-produced values at the head of the
+// queue without copying. The values stay in the queue until ConsumeRead
+// reports how many were processed. It requires pop privileges; it does
+// not block — an empty result means no values are immediately available
+// (use Empty to distinguish end-of-stream from a transient gap).
+func (q *Queue[T]) ReadSlice(f *sched.Frame, max int) []T {
+	qv := q.mustViews(f, ModePop)
+	q.acquireConsumer(f, qv)
+	if max < 1 || !q.reachableData() {
+		return nil
+	}
+	s := q.headView.head
+	start, n := s.contiguousReadable()
+	if n > int64(max) {
+		n = int64(max)
+	}
+	return s.buf[start : start+n]
+}
+
+// ConsumeRead removes the first n values from the queue after the caller
+// has processed a ReadSlice. n must not exceed the length of the last
+// ReadSlice result.
+func (q *Queue[T]) ConsumeRead(f *sched.Frame, n int) {
+	qv := q.mustViews(f, ModePop)
+	q.acquireConsumer(f, qv)
+	s := q.headView.head
+	if int64(n) > s.size() {
+		panic("hyperqueue: ConsumeRead past the end of the read slice")
+	}
+	// Clear references for the garbage collector, then advance.
+	h := s.head.Load()
+	var zero T
+	for i := int64(0); i < int64(n); i++ {
+		s.buf[(h+i)%int64(len(s.buf))] = zero
+	}
+	s.head.Store(h + int64(n))
+}
+
+// WriteSlice returns a slice of n uninitialized value slots at the tail
+// of the queue. The caller fills them and then calls CommitWrite; the
+// values are not visible to the consumer until committed. A new segment
+// is created when the current one cannot accommodate n contiguous slots
+// (for n larger than the segment capacity the new segment is sized to
+// fit, as §5.2 allows).
+func (q *Queue[T]) WriteSlice(f *sched.Frame, n int) []T {
+	qv := q.mustViews(f, ModePush)
+	if n < 1 {
+		return nil
+	}
+	if !qv.user.valid {
+		q.attachFreshSegment(qv)
+	}
+	seg := qv.user.tail
+	start, free := seg.contiguousWritable()
+	if free < int64(n) {
+		size := q.segCap
+		if n > size {
+			size = n
+		}
+		snew := newSegment[T](size)
+		seg.next.Store(snew)
+		qv.user.tail = snew
+		seg = snew
+		start = 0
+	}
+	return seg.buf[start : start+int64(n)]
+}
+
+// CommitWrite publishes the first n slots of the last WriteSlice to the
+// consumer.
+func (q *Queue[T]) CommitWrite(f *sched.Frame, n int) {
+	qv := q.mustViews(f, ModePush)
+	seg := qv.user.tail
+	if seg == nil {
+		panic("hyperqueue: CommitWrite without WriteSlice")
+	}
+	t := seg.tail.Load()
+	if t-seg.head.Load()+int64(n) > int64(len(seg.buf)) {
+		panic("hyperqueue: CommitWrite past the end of the write slice")
+	}
+	seg.tail.Store(t + int64(n))
+	q.wakeConsumer()
+}

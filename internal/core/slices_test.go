@@ -1,0 +1,185 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+)
+
+func TestWriteSliceCommitReadSlice(t *testing.T) {
+	run(1, func(f *sched.Frame) {
+		q := NewWithCapacity[int](f, 16)
+		w := q.WriteSlice(f, 8)
+		if len(w) != 8 {
+			t.Fatalf("WriteSlice len %d, want 8", len(w))
+		}
+		for i := range w {
+			w[i] = i * 10
+		}
+		q.CommitWrite(f, 8)
+		r := q.ReadSlice(f, 8)
+		if len(r) != 8 {
+			t.Fatalf("ReadSlice len %d, want 8", len(r))
+		}
+		for i, v := range r {
+			if v != i*10 {
+				t.Fatalf("r[%d] = %d, want %d", i, v, i*10)
+			}
+		}
+		q.ConsumeRead(f, 8)
+		if q.ReadSlice(f, 1) != nil {
+			t.Fatal("ReadSlice after full consume returned data")
+		}
+	})
+}
+
+func TestWriteSliceLargerThanSegment(t *testing.T) {
+	run(1, func(f *sched.Frame) {
+		q := NewWithCapacity[int](f, 4)
+		w := q.WriteSlice(f, 100) // forces a segment sized to fit (§5.2)
+		if len(w) != 100 {
+			t.Fatalf("WriteSlice len %d, want 100", len(w))
+		}
+		for i := range w {
+			w[i] = i
+		}
+		q.CommitWrite(f, 100)
+		for i := 0; i < 100; i++ {
+			if got := q.Pop(f); got != i {
+				t.Fatalf("Pop = %d, want %d", got, i)
+			}
+		}
+	})
+}
+
+func TestReadSliceBoundedBySegment(t *testing.T) {
+	run(1, func(f *sched.Frame) {
+		q := NewWithCapacity[int](f, 4)
+		for i := 0; i < 10; i++ { // spans three segments
+			q.Push(f, i)
+		}
+		total := 0
+		for total < 10 {
+			r := q.ReadSlice(f, 100)
+			if len(r) == 0 {
+				t.Fatalf("ReadSlice empty after %d of 10 values", total)
+			}
+			if len(r) > 4 {
+				t.Fatalf("ReadSlice returned %d values from a 4-slot segment", len(r))
+			}
+			for i, v := range r {
+				if v != total+i {
+					t.Fatalf("slice value %d, want %d", v, total+i)
+				}
+			}
+			q.ConsumeRead(f, len(r))
+			total += len(r)
+		}
+	})
+}
+
+func TestPartialConsume(t *testing.T) {
+	run(1, func(f *sched.Frame) {
+		q := NewWithCapacity[int](f, 16)
+		for i := 0; i < 6; i++ {
+			q.Push(f, i)
+		}
+		r := q.ReadSlice(f, 4)
+		if len(r) != 4 {
+			t.Fatalf("ReadSlice len %d", len(r))
+		}
+		q.ConsumeRead(f, 2) // consume fewer than sliced
+		if got := q.Pop(f); got != 2 {
+			t.Fatalf("Pop after partial consume = %d, want 2", got)
+		}
+	})
+}
+
+func TestWriteSliceInterleavedWithPush(t *testing.T) {
+	run(1, func(f *sched.Frame) {
+		q := NewWithCapacity[int](f, 32)
+		q.Push(f, 100)
+		w := q.WriteSlice(f, 3)
+		w[0], w[1], w[2] = 101, 102, 103
+		q.CommitWrite(f, 3)
+		q.Push(f, 104)
+		for want := 100; want <= 104; want++ {
+			if got := q.Pop(f); got != want {
+				t.Fatalf("Pop = %d, want %d", got, want)
+			}
+		}
+	})
+}
+
+func TestSlicesAcrossTasks(t *testing.T) {
+	var got []int
+	run(4, func(f *sched.Frame) {
+		q := NewWithCapacity[int](f, 64)
+		f.Spawn(func(c *sched.Frame) {
+			for blk := 0; blk < 10; blk++ {
+				w := q.WriteSlice(c, 10)
+				for i := range w {
+					w[i] = blk*10 + i
+				}
+				q.CommitWrite(c, 10)
+			}
+		}, Push(q))
+		f.Spawn(func(c *sched.Frame) {
+			for !q.Empty(c) {
+				r := q.ReadSlice(c, 16)
+				got = append(got, r...)
+				q.ConsumeRead(c, len(r))
+			}
+		}, Pop(q))
+		f.Sync()
+	})
+	if len(got) != 100 {
+		t.Fatalf("consumed %d, want 100", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got[%d] = %d; order broken", i, v)
+		}
+	}
+}
+
+func TestConsumeReadPastEndPanics(t *testing.T) {
+	run(1, func(f *sched.Frame) {
+		q := New[int](f)
+		q.Push(f, 1)
+		defer func() {
+			if recover() == nil {
+				t.Fatal("ConsumeRead past end did not panic")
+			}
+		}()
+		q.ConsumeRead(f, 5)
+	})
+}
+
+func TestCommitWritePastEndPanics(t *testing.T) {
+	run(1, func(f *sched.Frame) {
+		q := NewWithCapacity[int](f, 4)
+		q.WriteSlice(f, 2)
+		defer func() {
+			if recover() == nil {
+				t.Fatal("CommitWrite past end did not panic")
+			}
+		}()
+		q.CommitWrite(f, 10)
+	})
+}
+
+func TestWriteSliceRequiresPushPrivilege(t *testing.T) {
+	run(2, func(f *sched.Frame) {
+		q := New[int](f)
+		f.Spawn(func(c *sched.Frame) {
+			defer func() {
+				if recover() == nil {
+					t.Error("WriteSlice from pop-only task did not panic")
+				}
+			}()
+			q.WriteSlice(c, 4)
+		}, Pop(q))
+		f.Sync()
+	})
+}

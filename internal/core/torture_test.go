@@ -1,0 +1,277 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/sched"
+)
+
+// TestPipelineChainOfQueues wires five queues in a chain with a relay
+// task between each pair, all running concurrently.
+func TestPipelineChainOfQueues(t *testing.T) {
+	const n = 2000
+	const stages = 5
+	var got []int
+	run(8, func(f *sched.Frame) {
+		// All queues owned by the root; every relay holds Pop on its
+		// input and Push on its output. All stages run concurrently.
+		qs := make([]*Queue[int], stages+1)
+		for i := range qs {
+			qs[i] = NewWithCapacity[int](f, 32)
+		}
+		f.Spawn(func(c *sched.Frame) {
+			for i := 0; i < n; i++ {
+				qs[0].Push(c, i)
+			}
+		}, Push(qs[0]))
+		for s := 0; s < stages; s++ {
+			in, out := qs[s], qs[s+1]
+			f.Spawn(func(c *sched.Frame) {
+				for !in.Empty(c) {
+					out.Push(c, in.Pop(c)+1)
+				}
+			}, Pop(in), Push(out))
+		}
+		f.Spawn(func(g *sched.Frame) {
+			for !qs[stages].Empty(g) {
+				got = append(got, qs[stages].Pop(g))
+			}
+		}, Pop(qs[stages]))
+		f.Sync()
+	})
+	if len(got) != n {
+		t.Fatalf("consumed %d, want %d", len(got), n)
+	}
+	for i, v := range got {
+		if v != i+stages {
+			t.Fatalf("got[%d] = %d, want %d; order broken through the chain", i, v, i+stages)
+		}
+	}
+}
+
+// TestManyQueuesManyTasks creates many queues with interleaved producer
+// and consumer tasks — the dedup pattern at scale.
+func TestManyQueuesManyTasks(t *testing.T) {
+	const queues = 50
+	var total atomic.Int64
+	run(8, func(f *sched.Frame) {
+		sink := NewWithCapacity[int](f, 64)
+		f.Spawn(func(frag *sched.Frame) {
+			for qi := 0; qi < queues; qi++ {
+				qi := qi
+				local := NewWithCapacity[int](frag, 8)
+				frag.Spawn(func(c *sched.Frame) {
+					for i := 0; i < 20; i++ {
+						local.Push(c, qi*1000+i)
+					}
+				}, Push(local))
+				frag.Spawn(func(c *sched.Frame) {
+					for !local.Empty(c) {
+						sink.Push(c, local.Pop(c))
+					}
+				}, Pop(local), Push(sink))
+			}
+		}, Push(sink))
+		f.Spawn(func(c *sched.Frame) {
+			prev := -1
+			for !sink.Empty(c) {
+				v := sink.Pop(c)
+				if v <= prev {
+					t.Errorf("order violation: %d after %d", v, prev)
+					return
+				}
+				prev = v
+				total.Add(1)
+			}
+		}, Pop(sink))
+		f.Sync()
+	})
+	if total.Load() != queues*20 {
+		t.Fatalf("consumed %d, want %d", total.Load(), queues*20)
+	}
+}
+
+// TestEmptyBlocksUntilProducerDecides pins the blocking semantics of
+// Empty: with a visible producer alive but idle, Empty must not return
+// until the producer either pushes or completes.
+func TestEmptyBlocksUntilProducerDecides(t *testing.T) {
+	hold := make(chan struct{})
+	var emptyReturned atomic.Bool
+	var result atomic.Bool
+	rt := sched.New(4)
+	done := make(chan struct{})
+	go func() {
+		rt.Run(func(f *sched.Frame) {
+			q := New[int](f)
+			f.Spawn(func(c *sched.Frame) {
+				<-hold // producer alive, undecided
+			}, Push(q))
+			f.Spawn(func(c *sched.Frame) {
+				result.Store(q.Empty(c))
+				emptyReturned.Store(true)
+			}, Pop(q))
+			f.Sync()
+		})
+		close(done)
+	}()
+	time.Sleep(30 * time.Millisecond)
+	if emptyReturned.Load() {
+		t.Fatal("Empty returned while a visible producer was undecided")
+	}
+	close(hold)
+	<-done
+	if !result.Load() {
+		t.Fatal("Empty = false after the producer retired without pushing")
+	}
+}
+
+// TestConsumerSerializationStress runs many pop tasks, each required to
+// see a contiguous block.
+func TestConsumerSerializationStress(t *testing.T) {
+	const consumers = 30
+	const per = 10
+	results := make([][]int, consumers)
+	run(8, func(f *sched.Frame) {
+		q := NewWithCapacity[int](f, 16)
+		f.Spawn(func(c *sched.Frame) {
+			for i := 0; i < consumers*per; i++ {
+				q.Push(c, i)
+			}
+		}, Push(q))
+		for k := 0; k < consumers; k++ {
+			k := k
+			f.Spawn(func(c *sched.Frame) {
+				for j := 0; j < per; j++ {
+					results[k] = append(results[k], q.Pop(c))
+				}
+			}, Pop(q))
+		}
+		f.Sync()
+	})
+	next := 0
+	for k, block := range results {
+		for j, v := range block {
+			if v != next {
+				t.Fatalf("consumer %d item %d = %d, want %d", k, j, v, next)
+			}
+			next++
+		}
+	}
+}
+
+// TestMixedObjectAndQueueDeps reproduces the dedup hyperqueue pattern
+// under stress: queue deps and versioned-object deps on the same tasks.
+func TestMixedObjectAndQueueDepsStress(t *testing.T) {
+	run(8, func(f *sched.Frame) {
+		q := NewWithCapacity[int](f, 16)
+		f.Spawn(func(c *sched.Frame) {
+			for i := 1; i <= 500; i++ {
+				q.Push(c, i)
+			}
+		}, Push(q))
+		var sum int64
+		f.Spawn(func(c *sched.Frame) {
+			for !q.Empty(c) {
+				sum += int64(q.Pop(c))
+			}
+		}, Pop(q))
+		f.Sync()
+		if sum != 500*501/2 {
+			t.Fatalf("sum = %d", sum)
+		}
+	})
+}
+
+// TestPushAfterSyncReusesViews: a frame that syncs and then pushes again
+// must keep working (views fold and re-split).
+func TestPushAfterSyncReusesViews(t *testing.T) {
+	run(4, func(f *sched.Frame) {
+		q := NewWithCapacity[int](f, 4)
+		for round := 0; round < 5; round++ {
+			base := round * 10
+			f.Spawn(func(c *sched.Frame) {
+				for i := 0; i < 10; i++ {
+					q.Push(c, base+i)
+				}
+			}, Push(q))
+			f.Sync()
+		}
+		for i := 0; i < 50; i++ {
+			if got := q.Pop(f); got != i {
+				t.Fatalf("Pop = %d, want %d", got, i)
+			}
+		}
+	})
+}
+
+// TestInterleavedOwnerPushesAndChildTasks: the owner pushes inline
+// between spawning producers and consumers — every ordering source at
+// once.
+func TestInterleavedOwnerPushesAndChildTasks(t *testing.T) {
+	var got []int
+	run(8, func(f *sched.Frame) {
+		q := NewWithCapacity[int](f, 4)
+		q.Push(f, 0)
+		f.Spawn(func(c *sched.Frame) { q.Push(c, 1); q.Push(c, 2) }, Push(q))
+		q.Push(f, 3) // owner continues while the child may still run
+		f.Spawn(func(c *sched.Frame) {
+			for i := 0; i < 4; i++ {
+				got = append(got, q.Pop(c))
+			}
+		}, Pop(q))
+		q.Push(f, 4) // invisible to the consumer above
+		f.Sync()
+		for !q.Empty(f) {
+			got = append(got, q.Pop(f))
+		}
+	})
+	want := []int{0, 1, 2, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+// TestLongChainSmallSegments maximizes segment-boundary crossings and
+// head-sharing under the race detector.
+func TestLongChainSmallSegments(t *testing.T) {
+	const n = 20000
+	var count int64
+	run(8, func(f *sched.Frame) {
+		q := NewWithCapacity[int](f, 1)
+		var produce func(c *sched.Frame, lo, hi int)
+		produce = func(c *sched.Frame, lo, hi int) {
+			if hi-lo <= 100 {
+				for i := lo; i < hi; i++ {
+					q.Push(c, i)
+				}
+				return
+			}
+			mid := (lo + hi) / 2
+			c.Spawn(func(g *sched.Frame) { produce(g, lo, mid) }, Push(q))
+			c.Spawn(func(g *sched.Frame) { produce(g, mid, hi) }, Push(q))
+		}
+		f.Spawn(func(c *sched.Frame) { produce(c, 0, n) }, Push(q))
+		f.Spawn(func(c *sched.Frame) {
+			expect := 0
+			for !q.Empty(c) {
+				if got := q.Pop(c); got != expect {
+					t.Errorf("got %d, want %d", got, expect)
+					return
+				}
+				expect++
+				count++
+			}
+		}, Pop(q))
+		f.Sync()
+	})
+	if count != n {
+		t.Fatalf("consumed %d, want %d", count, n)
+	}
+}

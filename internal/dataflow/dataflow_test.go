@@ -1,0 +1,297 @@
+package dataflow
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/sched"
+)
+
+func run(workers int, fn func(*sched.Frame)) {
+	sched.New(workers).Run(fn)
+}
+
+func TestInitialValueReadable(t *testing.T) {
+	run(1, func(f *sched.Frame) {
+		v := NewVersioned(42)
+		if v.Get(f) != 42 {
+			t.Error("initial value lost")
+		}
+	})
+}
+
+func TestReaderWaitsForWriter(t *testing.T) {
+	run(4, func(f *sched.Frame) {
+		v := NewVersioned(0)
+		f.Spawn(func(c *sched.Frame) {
+			time.Sleep(10 * time.Millisecond)
+			v.Set(c, 7)
+		}, Out(v))
+		var got int
+		f.Spawn(func(c *sched.Frame) { got = v.Get(c) }, In(v))
+		f.Sync()
+		if got != 7 {
+			t.Errorf("reader saw %d, want 7 (did not wait for writer)", got)
+		}
+	})
+}
+
+func TestReadersRunConcurrently(t *testing.T) {
+	run(4, func(f *sched.Frame) {
+		v := NewVersioned(1)
+		var cur, peak atomic.Int64
+		for i := 0; i < 8; i++ {
+			f.Spawn(func(c *sched.Frame) {
+				n := cur.Add(1)
+				for {
+					p := peak.Load()
+					if n <= p || peak.CompareAndSwap(p, n) {
+						break
+					}
+				}
+				_ = v.Get(c)
+				time.Sleep(5 * time.Millisecond)
+				cur.Add(-1)
+			}, In(v))
+		}
+		f.Sync()
+		if peak.Load() < 2 {
+			t.Error("readers were serialized")
+		}
+	})
+}
+
+func TestInOutSerializesInProgramOrder(t *testing.T) {
+	const n = 50
+	run(8, func(f *sched.Frame) {
+		v := NewVersioned(0)
+		for i := 0; i < n; i++ {
+			want := i
+			f.Spawn(func(c *sched.Frame) {
+				got := v.Get(c)
+				if got != want {
+					t.Errorf("InOut task %d saw %d", want, got)
+				}
+				v.Set(c, got+1)
+			}, InOut(v))
+		}
+		f.Sync()
+		if v.Get(f) != n {
+			t.Errorf("final value %d, want %d", v.Get(f), n)
+		}
+	})
+}
+
+func TestRenamingBreaksWAR(t *testing.T) {
+	// A slow reader of version 1 must not block a writer creating version
+	// 2 (renaming), and must still see version 1's value afterwards.
+	run(4, func(f *sched.Frame) {
+		v := NewVersioned(1)
+		readerDone := make(chan struct{})
+		writerDone := make(chan struct{})
+		var sawWhileReading int
+		f.Spawn(func(c *sched.Frame) {
+			<-writerDone // prove the writer finished while we hold v1
+			sawWhileReading = v.Get(c)
+			close(readerDone)
+		}, In(v))
+		f.Spawn(func(c *sched.Frame) {
+			v.Set(c, 2)
+			close(writerDone)
+		}, Out(v))
+		f.Sync()
+		<-readerDone
+		if sawWhileReading != 1 {
+			t.Errorf("reader saw %d, want old version 1", sawWhileReading)
+		}
+		if v.Get(f) != 2 {
+			t.Errorf("latest version %d, want 2", v.Get(f))
+		}
+	})
+}
+
+func TestInOutWaitsForReaders(t *testing.T) {
+	run(4, func(f *sched.Frame) {
+		v := NewVersioned(10)
+		var readerFinished atomic.Bool
+		f.Spawn(func(c *sched.Frame) {
+			time.Sleep(15 * time.Millisecond)
+			if v.Get(c) != 10 {
+				t.Error("reader saw mutated value (InOut did not wait)")
+			}
+			readerFinished.Store(true)
+		}, In(v))
+		f.Spawn(func(c *sched.Frame) {
+			if !readerFinished.Load() {
+				t.Error("InOut ran before the elder reader finished")
+			}
+			v.Set(c, v.Get(c)+1)
+		}, InOut(v))
+		f.Sync()
+		if v.Get(f) != 11 {
+			t.Errorf("final = %d, want 11", v.Get(f))
+		}
+	})
+}
+
+func TestFigure1Pipeline(t *testing.T) {
+	// The paper's Figure 1: produce(outdep value) in parallel,
+	// consume(indep value, inoutdep fd) serialized. The consume order must
+	// be the spawn order.
+	const total = 100
+	var orderMu sync.Mutex
+	var order []int
+	run(8, func(f *sched.Frame) {
+		value := NewVersioned(0)
+		fd := NewVersioned(0)
+		for i := 0; i < total; i++ {
+			item := i
+			f.Spawn(func(c *sched.Frame) {
+				value.Set(c, item*3) // produce
+			}, Out(value))
+			f.Spawn(func(c *sched.Frame) {
+				got := value.Get(c)
+				if got != item*3 {
+					t.Errorf("consume %d read %d, want %d", item, got, item*3)
+				}
+				orderMu.Lock()
+				order = append(order, item)
+				orderMu.Unlock()
+				fd.Set(c, fd.Get(c)+1)
+			}, In(value), InOut(fd))
+		}
+		f.Sync()
+		if fd.Get(f) != total {
+			t.Errorf("fd = %d, want %d", fd.Get(f), total)
+		}
+	})
+	if len(order) != total {
+		t.Fatalf("consumed %d, want %d", len(order), total)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("consume order[%d] = %d; serial stage ran out of order", i, v)
+		}
+	}
+}
+
+func TestOutWriterDoesNotWait(t *testing.T) {
+	// Even with a stuck elder reader, an Out writer must start (renaming).
+	release := make(chan struct{})
+	var writerRan atomic.Bool
+	rt := sched.New(4)
+	done := make(chan struct{})
+	go func() {
+		rt.Run(func(f *sched.Frame) {
+			v := NewVersioned(0)
+			f.Spawn(func(c *sched.Frame) {
+				_ = v.Get(c)
+				<-release
+			}, In(v))
+			f.Spawn(func(c *sched.Frame) {
+				writerRan.Store(true)
+				v.Set(c, 9)
+			}, Out(v))
+			for !writerRan.Load() {
+				time.Sleep(time.Millisecond)
+			}
+			close(release)
+			f.Sync()
+		})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("deadlock: Out writer waited for a reader")
+	}
+}
+
+func TestSetFromReaderPanics(t *testing.T) {
+	run(2, func(f *sched.Frame) {
+		v := NewVersioned(0)
+		f.Spawn(func(c *sched.Frame) {
+			defer func() {
+				if recover() == nil {
+					t.Error("Set from In task did not panic")
+				}
+			}()
+			v.Set(c, 1)
+		}, In(v))
+		f.Sync()
+	})
+}
+
+func TestInlineSetWaitsForAll(t *testing.T) {
+	run(4, func(f *sched.Frame) {
+		v := NewVersioned(0)
+		for i := 0; i < 10; i++ {
+			f.Spawn(func(c *sched.Frame) { v.Set(c, v.Get(c)+1) }, InOut(v))
+		}
+		// Inline Set (no binding) must wait for all ten InOut tasks.
+		v.Set(f, 100)
+		if got := v.Get(f); got != 100 {
+			t.Errorf("inline set lost: %d", got)
+		}
+	})
+}
+
+func TestChainOfStages(t *testing.T) {
+	// Two serial stages connected by versioned objects: stage1 InOut a,
+	// stage2 InOut b, item flow a→b, as in a dataflow pipeline.
+	const total = 60
+	var got []int
+	run(8, func(f *sched.Frame) {
+		item := NewVersioned(0)
+		sink := NewVersioned([]int(nil))
+		for i := 0; i < total; i++ {
+			n := i
+			f.Spawn(func(c *sched.Frame) { item.Set(c, n*n) }, Out(item))
+			f.Spawn(func(c *sched.Frame) {
+				sink.Set(c, append(sink.Get(c), item.Get(c)))
+			}, In(item), InOut(sink))
+		}
+		f.Sync()
+		got = sink.Get(f)
+	})
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("got[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestManyObjectsIndependent(t *testing.T) {
+	run(8, func(f *sched.Frame) {
+		objs := make([]*Versioned[int], 20)
+		for i := range objs {
+			objs[i] = NewVersioned(i)
+		}
+		for _, o := range objs {
+			o := o
+			f.Spawn(func(c *sched.Frame) { o.Set(c, o.Get(c)*2) }, InOut(o))
+		}
+		f.Sync()
+		for i, o := range objs {
+			if o.Get(f) != i*2 {
+				t.Fatalf("obj %d = %d, want %d", i, o.Get(f), i*2)
+			}
+		}
+	})
+}
+
+func TestStressInOutCounter(t *testing.T) {
+	const n = 2000
+	run(8, func(f *sched.Frame) {
+		v := NewVersioned(0)
+		for i := 0; i < n; i++ {
+			f.Spawn(func(c *sched.Frame) { v.Set(c, v.Get(c)+1) }, InOut(v))
+		}
+		f.Sync()
+		if v.Get(f) != n {
+			t.Fatalf("counter = %d, want %d (lost updates)", v.Get(f), n)
+		}
+	})
+}

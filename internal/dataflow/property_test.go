@@ -1,0 +1,140 @@
+package dataflow
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/sched"
+)
+
+// Property test: random programs over several versioned objects, with
+// every task reading its In/InOut objects and writing a deterministic
+// function of what it read to its Out/InOut objects. The values each
+// task observes — and the final object values — must match the serial
+// elision at every worker count (the Figure 1 guarantee generalized).
+
+const (
+	dfModeNone = iota
+	dfModeIn
+	dfModeOut
+	dfModeInOut
+)
+
+type dfTask struct {
+	id    int
+	modes []int // per object
+}
+
+// serialOracle interprets the program sequentially.
+func serialOracle(tasks []dfTask, nobj int) (observed map[int][]int, finals []int) {
+	vals := make([]int, nobj)
+	observed = make(map[int][]int)
+	for _, tk := range tasks {
+		var seen []int
+		sum := tk.id
+		for o, m := range tk.modes {
+			if m == dfModeIn || m == dfModeInOut {
+				seen = append(seen, vals[o])
+				sum += vals[o]
+			}
+		}
+		for o, m := range tk.modes {
+			if m == dfModeOut {
+				vals[o] = tk.id * 1000
+			} else if m == dfModeInOut {
+				vals[o] = sum
+			}
+		}
+		observed[tk.id] = seen
+	}
+	return observed, vals
+}
+
+func runDataflow(workers int, tasks []dfTask, nobj int) (map[int][]int, []int) {
+	observed := make(map[int][]int)
+	var mu sync.Mutex
+	finals := make([]int, nobj)
+	sched.New(workers).Run(func(f *sched.Frame) {
+		objs := make([]*Versioned[int], nobj)
+		for i := range objs {
+			objs[i] = NewVersioned(0)
+		}
+		for _, tk := range tasks {
+			tk := tk
+			var deps []sched.Dep
+			for o, m := range tk.modes {
+				switch m {
+				case dfModeIn:
+					deps = append(deps, In(objs[o]))
+				case dfModeOut:
+					deps = append(deps, Out(objs[o]))
+				case dfModeInOut:
+					deps = append(deps, InOut(objs[o]))
+				}
+			}
+			f.Spawn(func(c *sched.Frame) {
+				var seen []int
+				sum := tk.id
+				for o, m := range tk.modes {
+					if m == dfModeIn || m == dfModeInOut {
+						v := objs[o].Get(c)
+						seen = append(seen, v)
+						sum += v
+					}
+				}
+				for o, m := range tk.modes {
+					if m == dfModeOut {
+						objs[o].Set(c, tk.id*1000)
+					} else if m == dfModeInOut {
+						objs[o].Set(c, sum)
+					}
+				}
+				mu.Lock()
+				observed[tk.id] = seen
+				mu.Unlock()
+			}, deps...)
+		}
+		f.Sync()
+		for i, o := range objs {
+			finals[i] = o.Get(f)
+		}
+	})
+	return observed, finals
+}
+
+func TestPropertyDataflowSerializability(t *testing.T) {
+	const programs = 40
+	for seed := 0; seed < programs; seed++ {
+		r := rng.New(uint64(seed) + 77)
+		nobj := 2 + r.Intn(4)
+		ntasks := 5 + r.Intn(25)
+		tasks := make([]dfTask, ntasks)
+		for i := range tasks {
+			tasks[i] = dfTask{id: i + 1, modes: make([]int, nobj)}
+			touched := false
+			for o := range tasks[i].modes {
+				m := r.Intn(5)
+				if m > dfModeInOut {
+					m = dfModeNone
+				}
+				tasks[i].modes[o] = m
+				touched = touched || m != dfModeNone
+			}
+			if !touched {
+				tasks[i].modes[0] = dfModeInOut
+			}
+		}
+		wantObs, wantFinals := serialOracle(tasks, nobj)
+		for _, workers := range []int{1, 3, 8} {
+			gotObs, gotFinals := runDataflow(workers, tasks, nobj)
+			if !reflect.DeepEqual(gotFinals, wantFinals) {
+				t.Fatalf("seed %d workers %d: finals %v, serial %v", seed, workers, gotFinals, wantFinals)
+			}
+			if !reflect.DeepEqual(gotObs, wantObs) {
+				t.Fatalf("seed %d workers %d: observations differ\n got  %v\n want %v", seed, workers, gotObs, wantObs)
+			}
+		}
+	}
+}

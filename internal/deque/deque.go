@@ -1,0 +1,127 @@
+// Package deque implements a Chase–Lev work-stealing deque (Chase & Lev,
+// "Dynamic circular work-stealing deque", SPAA 2005) with the memory-model
+// fixes of Lê et al. (PPoPP 2013), adapted to Go's atomics.
+//
+// The deque has a single owner that pushes and pops at the bottom (LIFO)
+// and any number of thieves that steal from the top (FIFO). FIFO stealing
+// is what gives Cilk-style schedulers their locality and their bounded
+// space guarantee: thieves take the oldest, typically largest, task.
+//
+// The Swan-like scheduler in internal/sched uses one deque per worker as
+// its dispatch substrate; the ablation benchmark in bench_test.go compares
+// it against a plain channel-based run queue.
+package deque
+
+import "sync/atomic"
+
+// D is a work-stealing deque of values of type T. Values are stored as
+// pointers internally to keep the circular-array swap safe under
+// concurrent steals. The zero value is not usable; call New.
+type D[T any] struct {
+	top    atomic.Int64 // next slot to steal from
+	bottom atomic.Int64 // next slot to push to
+	array  atomic.Pointer[ring[T]]
+}
+
+// ring is an immutable-size circular array. Grow replaces the whole ring;
+// old rings are left to the garbage collector (thieves may still be
+// reading them, which is safe because entries are only read, never
+// recycled, between top and bottom).
+type ring[T any] struct {
+	size int64 // always a power of two
+	mask int64
+	buf  []atomic.Pointer[T]
+}
+
+func newRing[T any](size int64) *ring[T] {
+	return &ring[T]{size: size, mask: size - 1, buf: make([]atomic.Pointer[T], size)}
+}
+
+func (r *ring[T]) get(i int64) *T    { return r.buf[i&r.mask].Load() }
+func (r *ring[T]) put(i int64, v *T) { r.buf[i&r.mask].Store(v) }
+
+func (r *ring[T]) grow(top, bottom int64) *ring[T] {
+	nr := newRing[T](r.size * 2)
+	for i := top; i < bottom; i++ {
+		nr.put(i, r.get(i))
+	}
+	return nr
+}
+
+// New returns an empty deque with the given initial capacity, rounded up
+// to a power of two (minimum 8).
+func New[T any](capacity int) *D[T] {
+	size := int64(8)
+	for size < int64(capacity) {
+		size *= 2
+	}
+	d := &D[T]{}
+	d.array.Store(newRing[T](size))
+	return d
+}
+
+// Push adds v at the bottom of the deque. Only the owner may call Push.
+func (d *D[T]) Push(v T) {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	a := d.array.Load()
+	if b-t >= a.size {
+		a = a.grow(t, b)
+		d.array.Store(a)
+	}
+	a.put(b, &v)
+	d.bottom.Store(b + 1)
+}
+
+// Pop removes and returns the most recently pushed value (LIFO). Only the
+// owner may call Pop. ok is false if the deque was empty.
+func (d *D[T]) Pop() (v T, ok bool) {
+	b := d.bottom.Load() - 1
+	a := d.array.Load()
+	d.bottom.Store(b)
+	t := d.top.Load()
+	if t > b {
+		// Deque was empty; restore bottom.
+		d.bottom.Store(b + 1)
+		return v, false
+	}
+	p := a.get(b)
+	if t == b {
+		// Single element left: race with thieves for it.
+		if !d.top.CompareAndSwap(t, t+1) {
+			// A thief got it first.
+			d.bottom.Store(b + 1)
+			return v, false
+		}
+		d.bottom.Store(b + 1)
+		return *p, true
+	}
+	return *p, true
+}
+
+// Steal removes and returns the oldest value (FIFO). Any goroutine may
+// call Steal. ok is false if the deque was empty or the steal lost a race
+// (callers typically retry elsewhere).
+func (d *D[T]) Steal() (v T, ok bool) {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if t >= b {
+		return v, false
+	}
+	a := d.array.Load()
+	p := a.get(t)
+	if !d.top.CompareAndSwap(t, t+1) {
+		return v, false
+	}
+	return *p, true
+}
+
+// Len reports an instantaneous size estimate. It is exact when called by
+// the owner with no concurrent steals, and approximate otherwise.
+func (d *D[T]) Len() int {
+	n := d.bottom.Load() - d.top.Load()
+	if n < 0 {
+		return 0
+	}
+	return int(n)
+}

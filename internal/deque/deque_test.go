@@ -1,0 +1,276 @@
+package deque
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestPushPopLIFO(t *testing.T) {
+	d := New[int](4)
+	for i := 0; i < 100; i++ {
+		d.Push(i)
+	}
+	for i := 99; i >= 0; i-- {
+		v, ok := d.Pop()
+		if !ok || v != i {
+			t.Fatalf("Pop = %d,%v; want %d,true", v, ok, i)
+		}
+	}
+	if _, ok := d.Pop(); ok {
+		t.Fatal("Pop on empty deque returned ok")
+	}
+}
+
+func TestStealFIFO(t *testing.T) {
+	d := New[int](4)
+	for i := 0; i < 100; i++ {
+		d.Push(i)
+	}
+	for i := 0; i < 100; i++ {
+		v, ok := d.Steal()
+		if !ok || v != i {
+			t.Fatalf("Steal = %d,%v; want %d,true", v, ok, i)
+		}
+	}
+	if _, ok := d.Steal(); ok {
+		t.Fatal("Steal on empty deque returned ok")
+	}
+}
+
+func TestGrowPreservesOrder(t *testing.T) {
+	d := New[int](8)
+	const n = 10000 // forces many grows
+	for i := 0; i < n; i++ {
+		d.Push(i)
+	}
+	if d.Len() != n {
+		t.Fatalf("Len = %d, want %d", d.Len(), n)
+	}
+	for i := 0; i < n/2; i++ {
+		if v, ok := d.Steal(); !ok || v != i {
+			t.Fatalf("Steal = %d,%v; want %d", v, ok, i)
+		}
+	}
+	for i := n - 1; i >= n/2; i-- {
+		if v, ok := d.Pop(); !ok || v != i {
+			t.Fatalf("Pop = %d,%v; want %d", v, ok, i)
+		}
+	}
+}
+
+func TestInterleavedPushPop(t *testing.T) {
+	d := New[int](4)
+	for round := 0; round < 50; round++ {
+		for i := 0; i < round; i++ {
+			d.Push(i)
+		}
+		for i := round - 1; i >= 0; i-- {
+			if v, ok := d.Pop(); !ok || v != i {
+				t.Fatalf("round %d: Pop = %d,%v; want %d", round, v, ok, i)
+			}
+		}
+	}
+}
+
+// TestConcurrentStealersNoLossNoDup is the core linearizability check:
+// one owner pushes N distinct values and pops some; thieves steal the
+// rest. Every value must be consumed exactly once.
+func TestConcurrentStealersNoLossNoDup(t *testing.T) {
+	const n = 100000
+	const thieves = 4
+	d := New[int](8)
+	var seen [n]atomic.Int32
+	var consumed atomic.Int64
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < thieves; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if v, ok := d.Steal(); ok {
+					seen[v].Add(1)
+					consumed.Add(1)
+				} else {
+					select {
+					case <-stop:
+						// Drain whatever is left after the owner quit.
+						for {
+							v, ok := d.Steal()
+							if !ok {
+								return
+							}
+							seen[v].Add(1)
+							consumed.Add(1)
+						}
+					default:
+					}
+				}
+			}
+		}()
+	}
+
+	// Owner: push all values, popping a few interleaved.
+	for i := 0; i < n; i++ {
+		d.Push(i)
+		if i%3 == 0 {
+			if v, ok := d.Pop(); ok {
+				seen[v].Add(1)
+				consumed.Add(1)
+			}
+		}
+	}
+	// Owner drains its side too.
+	for {
+		v, ok := d.Pop()
+		if !ok {
+			break
+		}
+		seen[v].Add(1)
+		consumed.Add(1)
+	}
+	close(stop)
+	wg.Wait()
+
+	// Final drain from this goroutine (now the only accessor).
+	for {
+		v, ok := d.Steal()
+		if !ok {
+			break
+		}
+		seen[v].Add(1)
+		consumed.Add(1)
+	}
+
+	if got := consumed.Load(); got != n {
+		t.Fatalf("consumed %d values, want %d", got, n)
+	}
+	for i := 0; i < n; i++ {
+		if c := seen[i].Load(); c != 1 {
+			t.Fatalf("value %d consumed %d times", i, c)
+		}
+	}
+}
+
+func TestLenEstimate(t *testing.T) {
+	d := New[string](4)
+	if d.Len() != 0 {
+		t.Fatalf("empty Len = %d", d.Len())
+	}
+	d.Push("a")
+	d.Push("b")
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", d.Len())
+	}
+	d.Steal()
+	if d.Len() != 1 {
+		t.Fatalf("Len after steal = %d, want 1", d.Len())
+	}
+}
+
+func TestPopStealSingleElementRace(t *testing.T) {
+	// Repeatedly race one owner Pop against one thief Steal over a
+	// single element; exactly one must win each round.
+	for round := 0; round < 2000; round++ {
+		d := New[int](4)
+		d.Push(round)
+		var wins atomic.Int32
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			if _, ok := d.Pop(); ok {
+				wins.Add(1)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			if _, ok := d.Steal(); ok {
+				wins.Add(1)
+			}
+		}()
+		wg.Wait()
+		if wins.Load() != 1 {
+			t.Fatalf("round %d: %d winners for 1 element", round, wins.Load())
+		}
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	d := New[int](1024)
+	for i := 0; i < b.N; i++ {
+		d.Push(i)
+		d.Pop()
+	}
+}
+
+func BenchmarkStealThroughput(b *testing.B) {
+	d := New[int](1024)
+	done := make(chan struct{})
+	go func() {
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+				if d.Len() < 512 {
+					d.Push(i)
+				}
+			}
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Steal()
+	}
+	close(done)
+}
+
+// TestQuickModelConformance drives random operation sequences against a
+// slice model (single-threaded: Pop takes the back, Steal the front).
+func TestQuickModelConformance(t *testing.T) {
+	f := func(ops []byte) bool {
+		d := New[int](4)
+		var model []int
+		next := 0
+		for _, op := range ops {
+			switch op % 4 {
+			case 0, 1: // bias toward pushes so the deque fills
+				d.Push(next)
+				model = append(model, next)
+				next++
+			case 2:
+				v, ok := d.Pop()
+				if ok != (len(model) > 0) {
+					return false
+				}
+				if ok {
+					want := model[len(model)-1]
+					model = model[:len(model)-1]
+					if v != want {
+						return false
+					}
+				}
+			case 3:
+				v, ok := d.Steal()
+				if ok != (len(model) > 0) {
+					return false
+				}
+				if ok {
+					want := model[0]
+					model = model[1:]
+					if v != want {
+						return false
+					}
+				}
+			}
+		}
+		return d.Len() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

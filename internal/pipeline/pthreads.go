@@ -1,0 +1,198 @@
+// Package pipeline implements the two baseline pipeline frameworks the
+// paper evaluates hyperqueues against (§6): a POSIX-threads-style
+// pipeline — thread pools per stage connected by bounded queues, with
+// per-stage thread-count tuning and oversubscription — and a TBB-style
+// structured pipeline with token-limited filters (tbb.go).
+//
+// Both baselines are intentionally *not* deterministic in the paper's
+// sense (no serial elision); they reproduce the programming models whose
+// performance and programmability the paper compares against.
+package pipeline
+
+import "sync"
+
+// StageFn processes one work item and emits zero or more results —
+// dedup's FragmentRefine emits many small chunks per coarse chunk, and
+// Deduplicate drops none but Compress is skipped for duplicates, so
+// variable fan-out is part of the model.
+type StageFn func(data any, emit func(any))
+
+// Stage describes one pthreads-style pipeline stage.
+type Stage struct {
+	Name    string
+	Workers int  // goroutines dedicated to the stage (oversubscription allowed)
+	Ordered bool // serial in-order stage: one worker, items in original stream order
+	Fn      StageFn
+}
+
+// rec is the wire format between stages: either a payload at a
+// hierarchical sequence path, or a marker recording how many children a
+// path expanded into. Hierarchical paths let ordered stages reconstruct
+// the original stream order across variable fan-out.
+type rec struct {
+	path    []int32
+	payload any
+	marker  bool
+	count   int32
+}
+
+func childPath(p []int32, i int32) []int32 {
+	cp := make([]int32, len(p)+1)
+	copy(cp, p)
+	cp[len(p)] = i
+	return cp
+}
+
+// RunPthreads executes a pthreads-style pipeline: source feeds the first
+// stage, every stage runs Workers goroutines over a bounded channel of
+// capacity chanCap, and Ordered stages deliver items in original stream
+// order. The call returns when the last stage has consumed everything.
+func RunPthreads(source func(emit func(any)), stages []Stage, chanCap int) {
+	if chanCap < 1 {
+		chanCap = 1
+	}
+	in := make(chan rec, chanCap)
+	go func(src chan<- rec) {
+		var n int32
+		source(func(v any) {
+			src <- rec{path: []int32{n}, payload: v}
+			n++
+		})
+		src <- rec{path: nil, marker: true, count: n}
+		close(src)
+	}(in)
+	for _, st := range stages {
+		out := make(chan rec, chanCap)
+		if st.Ordered {
+			go runOrdered(st, in, out)
+		} else {
+			go runParallel(st, in, out)
+		}
+		in = out
+	}
+	// Drain the final channel; the last stage's emissions are discarded
+	// (real pipelines make their last stage a sink with side effects).
+	for range in {
+	}
+}
+
+// runParallel runs st.Workers goroutines over the input. Each processed
+// item expands into child paths plus a marker; upstream markers are
+// forwarded untouched.
+func runParallel(st Stage, in <-chan rec, out chan<- rec) {
+	w := st.Workers
+	if w < 1 {
+		w = 1
+	}
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for i := 0; i < w; i++ {
+		go func() {
+			defer wg.Done()
+			for r := range in {
+				if r.marker {
+					out <- r
+					continue
+				}
+				var n int32
+				st.Fn(r.payload, func(v any) {
+					out <- rec{path: childPath(r.path, n), payload: v}
+					n++
+				})
+				out <- rec{path: r.path, marker: true, count: n}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+}
+
+// runOrdered reorders the stream back to original order before applying
+// the stage function, then re-emits a flat, freshly numbered stream.
+func runOrdered(st Stage, in <-chan rec, out chan<- rec) {
+	o := newOrderer()
+	var n int32
+	emit := func(v any) {
+		out <- rec{path: []int32{n}, payload: v}
+		n++
+	}
+	for r := range in {
+		o.insert(r, func(v any) { st.Fn(v, emit) })
+	}
+	out <- rec{path: nil, marker: true, count: n}
+	close(out)
+}
+
+// orderer reconstructs original stream order from hierarchically
+// sequenced records. It holds a tree of expansion nodes: an item record
+// makes a leaf, a marker fixes a node's child count, and delivery is the
+// depth-first walk of the completed frontier.
+type orderer struct {
+	root *onode
+}
+
+type onode struct {
+	children  map[int32]*onode
+	item      any
+	isLeaf    bool
+	delivered bool
+	count     int32 // -1 until the marker arrives
+	next      int32
+}
+
+func newONode() *onode { return &onode{children: map[int32]*onode{}, count: -1} }
+
+func newOrderer() *orderer { return &orderer{root: newONode()} }
+
+func (o *orderer) nodeAt(path []int32) *onode {
+	n := o.root
+	for _, i := range path {
+		c := n.children[i]
+		if c == nil {
+			c = newONode()
+			n.children[i] = c
+		}
+		n = c
+	}
+	return n
+}
+
+// insert records r and delivers any newly in-order payloads.
+func (o *orderer) insert(r rec, deliver func(any)) {
+	n := o.nodeAt(r.path)
+	if r.marker {
+		n.count = r.count
+	} else {
+		n.item, n.isLeaf = r.payload, true
+	}
+	o.root.drain(deliver)
+}
+
+// drain walks the frontier in depth-first order, delivering leaves, and
+// reports whether the node is fully exhausted.
+func (n *onode) drain(deliver func(any)) bool {
+	if n.isLeaf {
+		if !n.delivered {
+			deliver(n.item)
+			n.delivered = true
+		}
+		return true
+	}
+	for {
+		if n.count >= 0 && n.next >= n.count {
+			n.children = nil // release exhausted subtree
+			return true
+		}
+		c := n.children[n.next]
+		if c == nil {
+			return false // next child's records not here yet
+		}
+		if !c.drain(deliver) {
+			return false
+		}
+		delete(n.children, n.next)
+		n.next++
+	}
+}

@@ -1,0 +1,137 @@
+package pipeline
+
+import "sync"
+
+// FilterMode mirrors tbb::pipeline's filter kinds.
+type FilterMode int
+
+const (
+	// Parallel filters process any number of items concurrently.
+	Parallel FilterMode = iota
+	// SerialInOrder filters process one item at a time, in input order.
+	SerialInOrder
+	// SerialOutOfOrder filters process one item at a time, any order.
+	SerialOutOfOrder
+)
+
+// Filter is one TBB-style pipeline filter. Filters are strictly 1:1:
+// each input item yields exactly one output item — the structural
+// constraint the paper contrasts with hyperqueues (§6.2: variable
+// input/output counts force restructuring under TBB). A filter may
+// return the item unchanged or a transformed value; returning Drop
+// removes the item from the stream (modelling tbb's pattern of passing
+// through a tagged wrapper).
+type Filter struct {
+	Name string
+	Mode FilterMode
+	Fn   func(any) any
+}
+
+// Drop is the sentinel a filter returns to delete an item from the
+// stream while keeping sequence accounting intact.
+var Drop = new(struct{})
+
+// RunTBB executes a token-limited structured pipeline, the shape of
+// tbb::pipeline::run(maxTokens). The input function is the first,
+// implicitly serial-in-order filter: it returns items until it returns
+// nil (end of stream). At most maxTokens items are in flight, processed
+// by a pool of `workers` goroutines.
+func RunTBB(input func() any, filters []Filter, workers, maxTokens int) {
+	if workers < 1 {
+		workers = 1
+	}
+	if maxTokens < 1 {
+		maxTokens = 1
+	}
+	type token struct {
+		seq  int64
+		data any
+	}
+	var (
+		inMu   sync.Mutex
+		nextIn int64
+		eof    bool
+	)
+	// Per-serial-filter ordering state.
+	type serialState struct {
+		mu   sync.Mutex
+		cond *sync.Cond
+		next int64 // next sequence number to admit (in-order mode)
+	}
+	states := make([]*serialState, len(filters))
+	for i, f := range filters {
+		if f.Mode != Parallel {
+			s := &serialState{}
+			s.cond = sync.NewCond(&s.mu)
+			states[i] = s
+		}
+	}
+	tokens := make(chan struct{}, maxTokens)
+	for i := 0; i < maxTokens; i++ {
+		tokens <- struct{}{}
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				<-tokens
+				inMu.Lock()
+				if eof {
+					inMu.Unlock()
+					tokens <- struct{}{}
+					return
+				}
+				data := input()
+				if data == nil {
+					eof = true
+					inMu.Unlock()
+					tokens <- struct{}{}
+					return
+				}
+				tk := token{seq: nextIn, data: data}
+				nextIn++
+				inMu.Unlock()
+
+				dropped := false
+				for i, f := range filters {
+					switch f.Mode {
+					case Parallel:
+						if !dropped {
+							tk.data = f.Fn(tk.data)
+						}
+					case SerialOutOfOrder:
+						if !dropped {
+							s := states[i]
+							s.mu.Lock()
+							tk.data = f.Fn(tk.data)
+							s.mu.Unlock()
+						}
+					case SerialInOrder:
+						// Dropped items still take their in-order turn so
+						// successors are released in sequence, mirroring
+						// TBB's pass-through of tagged empties.
+						s := states[i]
+						s.mu.Lock()
+						for s.next != tk.seq {
+							s.cond.Wait()
+						}
+						if !dropped {
+							tk.data = f.Fn(tk.data)
+						}
+						s.next++
+						s.cond.Broadcast()
+						s.mu.Unlock()
+					}
+					if tk.data == Drop {
+						dropped = true
+					}
+				}
+				tokens <- struct{}{}
+			}
+		}()
+	}
+	wg.Wait()
+}

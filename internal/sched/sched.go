@@ -1,0 +1,328 @@
+// Package sched implements the Swan-like task runtime that hyperqueues are
+// built on (Vandierendonck et al., PACT 2011; SC 2013 §2.3, §4).
+//
+// The runtime exposes a Cilk-style spawn/sync task tree. Each spawned task
+// runs in its own frame; dependence objects (Dep) passed at spawn time
+// gate when the task may start and are notified when it completes, which
+// is exactly the protocol the paper's queue access modes (pushdep, popdep,
+// pushpopdep) and versioned-object access modes (indep, outdep, inoutdep)
+// need.
+//
+// # Scheduling substrate
+//
+// The paper's Swan runtime uses Cilk-style work-first scheduling with
+// continuation stealing. Go cannot steal continuations, so this runtime
+// uses help-first spawning (the child task is handed to the scheduler and
+// the parent continues) with a pool of P worker slots. A task holds a slot
+// while it executes; every potentially-blocking runtime operation — Sync,
+// a queue Empty/Pop wait, a pop-serialization wait, a dataflow gate —
+// releases the slot for the duration of the wait, mirroring the paper's
+// choice to "block the worker" (§4.5) while keeping P runnable tasks
+// whenever P are ready. The hyperqueue view algebra (internal/core) is
+// order-robust and correct under both child-first and help-first
+// execution orders.
+//
+// # Program order
+//
+// Determinism reasoning in the paper is phrased in terms of the serial
+// elision: the depth-first execution order of the spawn tree. Each frame
+// carries a label — the path of spawn indices from the root — so that
+// "task A precedes task B in program order" is the lexicographic
+// comparison of labels. The hyperqueue uses labels to decide which
+// producers' values a consumer may observe (§2.3 rule 4).
+package sched
+
+import (
+	"sync"
+)
+
+// Runtime is a task scheduler with a fixed number of worker slots. The
+// number of slots plays the role of the number of cores in the paper's
+// scale-free sweeps: a program written against Runtime does not change
+// when the slot count changes.
+type Runtime struct {
+	slots   chan struct{}
+	workers int
+
+	panicMu  sync.Mutex
+	panicVal any // first task panic, re-raised by Run
+}
+
+// recordPanic stores the first panic raised by any task; Run re-raises
+// it after the task tree has quiesced.
+func (rt *Runtime) recordPanic(v any) {
+	rt.panicMu.Lock()
+	if rt.panicVal == nil {
+		rt.panicVal = v
+	}
+	rt.panicMu.Unlock()
+}
+
+// New returns a runtime with the given number of worker slots (minimum 1).
+func New(workers int) *Runtime {
+	if workers < 1 {
+		workers = 1
+	}
+	rt := &Runtime{slots: make(chan struct{}, workers), workers: workers}
+	for i := 0; i < workers; i++ {
+		rt.slots <- struct{}{}
+	}
+	return rt
+}
+
+// Workers reports the number of worker slots.
+func (rt *Runtime) Workers() int { return rt.workers }
+
+func (rt *Runtime) acquire() { <-rt.slots }
+func (rt *Runtime) release() { rt.slots <- struct{}{} }
+
+// Block runs wait while temporarily giving up the calling task's worker
+// slot, so that a blocked task never starves runnable ones. It must only
+// be called from inside a running task.
+func (rt *Runtime) Block(wait func()) {
+	rt.release()
+	wait()
+	rt.acquire()
+}
+
+// Run executes fn as the root frame and returns when it and all of its
+// descendants have completed. It is the only entry point into the
+// runtime; nested Run calls on the same Runtime are allowed and share the
+// worker slots.
+//
+// A panic inside any task is captured so the rest of the task tree can
+// quiesce (dependences are still released — values a producer pushed
+// before panicking remain visible, and consumers are not deadlocked),
+// and the first such panic is re-raised by Run.
+func (rt *Runtime) Run(fn func(*Frame)) {
+	root := newFrame(rt, nil)
+	rt.acquire()
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				rt.recordPanic(r)
+			}
+		}()
+		fn(root)
+	}()
+	root.Sync()
+	rt.release()
+	rt.panicMu.Lock()
+	v := rt.panicVal
+	rt.panicVal = nil
+	rt.panicMu.Unlock()
+	if v != nil {
+		panic(v)
+	}
+}
+
+// Frame is one node of the spawn tree: the runtime context of a single
+// task. A Frame's methods (Spawn, Call, Sync, attachments) must be called
+// only from the task goroutine that owns the frame; Dep implementations
+// may additionally touch a frame through their own synchronization (the
+// hyperqueue does so under its per-queue mutex).
+type Frame struct {
+	rt     *Runtime
+	parent *Frame
+	label  []int32
+	nspawn int32
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	live      int // outstanding children
+	attach    map[any]any
+	syncHooks []func()
+}
+
+func newFrame(rt *Runtime, parent *Frame) *Frame {
+	f := &Frame{rt: rt, parent: parent}
+	f.cond = sync.NewCond(&f.mu)
+	if parent != nil {
+		f.label = append(append(make([]int32, 0, len(parent.label)+1), parent.label...), parent.nspawn)
+	}
+	return f
+}
+
+// Runtime returns the runtime this frame executes on.
+func (f *Frame) Runtime() *Runtime { return f.rt }
+
+// Parent returns the parent frame, or nil for the root.
+func (f *Frame) Parent() *Frame { return f.parent }
+
+// Before reports whether f precedes g in serial program order (the serial
+// elision). A frame does not precede itself or its ancestors/descendants
+// in the sense used by hyperqueue visibility; see IsAncestorOf.
+func (f *Frame) Before(g *Frame) bool {
+	n := len(f.label)
+	if len(g.label) < n {
+		n = len(g.label)
+	}
+	for i := 0; i < n; i++ {
+		if f.label[i] != g.label[i] {
+			return f.label[i] < g.label[i]
+		}
+	}
+	return len(f.label) < len(g.label)
+}
+
+// IsAncestorOf reports whether f is a proper ancestor of g in the spawn
+// tree.
+func (f *Frame) IsAncestorOf(g *Frame) bool {
+	if len(f.label) >= len(g.label) {
+		return false
+	}
+	for i := range f.label {
+		if f.label[i] != g.label[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Dep is a dependence declared at spawn time. The runtime drives each dep
+// through three phases:
+//
+//   - Prepare is called synchronously in the parent's goroutine, in
+//     program order, before the child may run. This is where access modes
+//     register themselves (issue tickets, hand over views, join FIFO
+//     queues).
+//   - Wait is called in the child's goroutine before the child acquires a
+//     worker slot; it blocks until the dependence allows the child to
+//     start. Blocking here does not consume a slot.
+//   - Complete is called in the child's goroutine after the child's body
+//     and implicit sync have finished, and before the parent's Sync can
+//     observe the child as done.
+type Dep interface {
+	Prepare(parent, child *Frame)
+	Wait(child *Frame)
+	Complete(parent, child *Frame)
+}
+
+// Spawn creates a child task executing fn, gated by deps. It corresponds
+// to the paper's "spawn f(args...)": the call may proceed in parallel
+// with the continuation of the caller. An implicit Sync runs when fn
+// returns, as in Cilk.
+func (f *Frame) Spawn(fn func(*Frame), deps ...Dep) {
+	f.spawn(fn, nil, deps)
+}
+
+func (f *Frame) spawn(fn, after func(*Frame), deps []Dep) {
+	c := newFrame(f.rt, f)
+	f.nspawn++
+	f.mu.Lock()
+	f.live++
+	f.mu.Unlock()
+	prepared := false
+	defer func() {
+		// A panicking Prepare is a programming error (e.g. the privilege
+		// subset rule of §2.3); undo the child registration so the error
+		// is recoverable and Sync does not wait forever.
+		if !prepared {
+			f.mu.Lock()
+			f.live--
+			f.cond.Broadcast()
+			f.mu.Unlock()
+		}
+	}()
+	for _, d := range deps {
+		d.Prepare(f, c)
+	}
+	prepared = true
+	go func() {
+		for _, d := range deps {
+			d.Wait(c)
+		}
+		f.rt.acquire()
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					f.rt.recordPanic(r)
+				}
+			}()
+			fn(c)
+		}()
+		c.Sync()
+		f.rt.release()
+		for _, d := range deps {
+			d.Complete(f, c)
+		}
+		if after != nil {
+			after(c)
+		}
+		f.mu.Lock()
+		f.live--
+		f.cond.Broadcast()
+		f.mu.Unlock()
+	}()
+}
+
+// Call runs fn as a child frame and waits for it to complete, including
+// its dependence completions. The paper treats calls like spawns for
+// hyperqueue purposes (§4.2, "Call and return from call with push
+// privileges"); a call simply foregoes concurrency with the continuation.
+func (f *Frame) Call(fn func(*Frame), deps ...Dep) {
+	done := make(chan struct{})
+	f.spawn(fn, func(*Frame) { close(done) }, deps)
+	f.rt.Block(func() { <-done })
+}
+
+// Sync blocks until all children spawned so far by this frame have
+// completed, releasing the worker slot while waiting. After the children
+// are done it runs the frame's sync hooks (the hyperqueue uses a hook to
+// fold its children view into the user view, §4.2 "Sync").
+func (f *Frame) Sync() {
+	f.mu.Lock()
+	pending := f.live != 0
+	f.mu.Unlock()
+	if pending {
+		f.rt.Block(func() {
+			f.mu.Lock()
+			for f.live != 0 {
+				f.cond.Wait()
+			}
+			f.mu.Unlock()
+		})
+	}
+	f.mu.Lock()
+	hooks := make([]func(), len(f.syncHooks))
+	copy(hooks, f.syncHooks)
+	f.mu.Unlock()
+	for _, h := range hooks {
+		h()
+	}
+}
+
+// AddSyncHook registers fn to run (in the frame's goroutine) after every
+// Sync of this frame, including the implicit sync at frame completion.
+func (f *Frame) AddSyncHook(fn func()) {
+	f.mu.Lock()
+	f.syncHooks = append(f.syncHooks, fn)
+	f.mu.Unlock()
+}
+
+// Parallel reports whether the program is executing with more than one
+// worker slot — the runtime check of §5.3 ("Selectively Enabling
+// Pipelining", Cilk's SYNCHED): programs may select a sequential
+// implementation when parallel execution is impossible, e.g. to bound
+// queue growth. As the paper warns, use with care: branching on it can
+// violate determinism if the two versions are not observably equivalent.
+func (f *Frame) Parallel() bool { return f.rt.workers > 1 }
+
+// Attachment returns the attachment stored under key, or nil.
+// Attachments let dependence implementations hang per-frame state (such
+// as hyperqueue views) off a frame.
+func (f *Frame) Attachment(key any) any {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.attach[key]
+}
+
+// SetAttachment stores v under key.
+func (f *Frame) SetAttachment(key any, v any) {
+	f.mu.Lock()
+	if f.attach == nil {
+		f.attach = make(map[any]any)
+	}
+	f.attach[key] = v
+	f.mu.Unlock()
+}

@@ -1,0 +1,94 @@
+// Package stats provides the small descriptive-statistics toolkit the
+// benchmark harness uses to report measurements honestly: minimum (the
+// steady-state estimate the tables use), mean, standard deviation and a
+// normal-approximation confidence half-width.
+package stats
+
+import "math"
+
+// Sample accumulates observations.
+type Sample struct {
+	xs []float64
+}
+
+// Add appends an observation.
+func (s *Sample) Add(x float64) { s.xs = append(s.xs, x) }
+
+// N reports the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Min returns the smallest observation (0 when empty).
+func (s *Sample) Min() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	m := s.xs[0]
+	for _, x := range s.xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest observation (0 when empty).
+func (s *Sample) Max() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	m := s.xs[0]
+	for _, x := range s.xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Mean returns the arithmetic mean (0 when empty).
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+// StdDev returns the sample standard deviation (0 for fewer than two
+// observations).
+func (s *Sample) StdDev() float64 {
+	n := len(s.xs)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	var ss float64
+	for _, x := range s.xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// CI95 returns the half-width of a normal-approximation 95% confidence
+// interval for the mean.
+func (s *Sample) CI95() float64 {
+	n := len(s.xs)
+	if n < 2 {
+		return 0
+	}
+	return 1.96 * s.StdDev() / math.Sqrt(float64(n))
+}
+
+// RelStdDev returns the coefficient of variation (stddev/mean), or 0
+// when the mean is zero.
+func (s *Sample) RelStdDev() float64 {
+	m := s.Mean()
+	if m == 0 {
+		return 0
+	}
+	return s.StdDev() / m
+}

@@ -1,0 +1,104 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func sample(xs ...float64) *Sample {
+	var s Sample
+	for _, x := range xs {
+		s.Add(x)
+	}
+	return &s
+}
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestEmptySample(t *testing.T) {
+	var s Sample
+	if s.N() != 0 || s.Min() != 0 || s.Max() != 0 || s.Mean() != 0 || s.StdDev() != 0 || s.CI95() != 0 {
+		t.Fatal("empty sample must report zeros")
+	}
+}
+
+func TestSingleObservation(t *testing.T) {
+	s := sample(42)
+	if s.Min() != 42 || s.Max() != 42 || s.Mean() != 42 {
+		t.Fatal("single observation stats wrong")
+	}
+	if s.StdDev() != 0 || s.CI95() != 0 {
+		t.Fatal("dispersion of one observation must be 0")
+	}
+}
+
+func TestKnownValues(t *testing.T) {
+	s := sample(2, 4, 4, 4, 5, 5, 7, 9)
+	if !almost(s.Mean(), 5) {
+		t.Fatalf("mean = %v, want 5", s.Mean())
+	}
+	// Sample stddev of this classic set is sqrt(32/7).
+	if want := math.Sqrt(32.0 / 7.0); !almost(s.StdDev(), want) {
+		t.Fatalf("stddev = %v, want %v", s.StdDev(), want)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatal("min/max wrong")
+	}
+}
+
+func TestRelStdDev(t *testing.T) {
+	s := sample(10, 10, 10)
+	if s.RelStdDev() != 0 {
+		t.Fatal("constant sample must have zero relative stddev")
+	}
+	z := sample(-1, 1)
+	if z.RelStdDev() != 0 {
+		t.Fatal("zero-mean guard failed")
+	}
+}
+
+func TestQuickMinLEMeanLEMax(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		r := rng.New(seed)
+		var s Sample
+		for i := 0; i < int(n%50)+1; i++ {
+			s.Add(r.Float64()*100 - 50)
+		}
+		return s.Min() <= s.Mean()+1e-9 && s.Mean() <= s.Max()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickStdDevNonNegative(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		r := rng.New(seed)
+		var s Sample
+		for i := 0; i < int(n%20)+2; i++ {
+			s.Add(r.NormFloat64())
+		}
+		return s.StdDev() >= 0 && s.CI95() >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCI95ShrinksWithN(t *testing.T) {
+	r := rng.New(5)
+	var small, large Sample
+	for i := 0; i < 10; i++ {
+		small.Add(r.NormFloat64())
+	}
+	r = rng.New(5)
+	for i := 0; i < 1000; i++ {
+		large.Add(r.NormFloat64())
+	}
+	if large.CI95() >= small.CI95() {
+		t.Fatalf("CI95 did not shrink: n=10 %v vs n=1000 %v", small.CI95(), large.CI95())
+	}
+}

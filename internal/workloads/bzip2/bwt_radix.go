@@ -1,0 +1,88 @@
+package bzip2
+
+// bwt computes the Burrows–Wheeler transform with the O(n log n)
+// cyclic-shift suffix-array algorithm (prefix doubling with stable
+// counting sort). This is the production path used by CompressBlock;
+// bwtSort (comparison-based doubling) is retained as a cross-check and
+// for the ablation benchmark.
+func bwt(s []byte) (out []byte, primary int) {
+	n := len(s)
+	if n == 0 {
+		return nil, 0
+	}
+	p := make([]int, n)  // rotation indices in sorted order
+	c := make([]int, n)  // equivalence class (rank) of each rotation
+	pn := make([]int, n) // scratch: order by second key
+	cn := make([]int, n) // scratch: next classes
+	alpha := 256
+	if n > alpha {
+		alpha = n
+	}
+	cnt := make([]int, alpha+1)
+
+	// Round 0: counting sort by first byte.
+	for i := 0; i < n; i++ {
+		cnt[int(s[i])+1]++
+	}
+	for i := 1; i <= 256; i++ {
+		cnt[i] += cnt[i-1]
+	}
+	for i := 0; i < n; i++ {
+		p[cnt[s[i]]] = i
+		cnt[s[i]]++
+	}
+	classes := 1
+	c[p[0]] = 0
+	for i := 1; i < n; i++ {
+		if s[p[i]] != s[p[i-1]] {
+			classes++
+		}
+		c[p[i]] = classes - 1
+	}
+
+	for k := 1; k < n && classes < n; k *= 2 {
+		// Order by second key: rotation starting at p[i]-k has its second
+		// half already sorted by the current p.
+		for i := 0; i < n; i++ {
+			pn[i] = p[i] - k
+			if pn[i] < 0 {
+				pn[i] += n
+			}
+		}
+		// Stable counting sort by first key (current class).
+		for i := 0; i <= classes; i++ {
+			cnt[i] = 0
+		}
+		for i := 0; i < n; i++ {
+			cnt[c[pn[i]]+1]++
+		}
+		for i := 1; i <= classes; i++ {
+			cnt[i] += cnt[i-1]
+		}
+		for i := 0; i < n; i++ {
+			p[cnt[c[pn[i]]]] = pn[i]
+			cnt[c[pn[i]]]++
+		}
+		// Recompute classes over (c[i], c[i+k]).
+		classes = 1
+		cn[p[0]] = 0
+		for i := 1; i < n; i++ {
+			cur := [2]int{c[p[i]], c[(p[i]+k)%n]}
+			prev := [2]int{c[p[i-1]], c[(p[i-1]+k)%n]}
+			if cur != prev {
+				classes++
+			}
+			cn[p[i]] = classes - 1
+		}
+		c, cn = cn, c
+	}
+
+	out = make([]byte, n)
+	for i, r := range p {
+		out[i] = s[(r+n-1)%n]
+		if r == 0 {
+			primary = i
+		}
+	}
+	return out, primary
+}

@@ -1,0 +1,114 @@
+package bzip2
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// MaxBlockSize is the largest block CompressBlock accepts (cf. bzip2's
+// 900 kB blocks); it also keeps Huffman code lengths within bounds.
+const MaxBlockSize = 900 * 1024
+
+// DefaultBlockSize is the block size used by the pipeline when the
+// caller does not specify one.
+const DefaultBlockSize = 128 * 1024
+
+// CompressBlock compresses one block: BWT → MTF → RLE → canonical
+// Huffman. The output is self-contained and decodable by DecompressBlock.
+func CompressBlock(block []byte) []byte {
+	if len(block) > MaxBlockSize {
+		panic("bzip2: block exceeds MaxBlockSize")
+	}
+	if len(block) == 0 {
+		return []byte{0}
+	}
+	b, primary := bwt(block)
+	m := mtf(b)
+	r := rle(m)
+	lengths, nbits, data := huffEncode(r)
+
+	out := make([]byte, 0, len(data)+300)
+	out = append(out, 1) // version/format marker
+	out = binary.AppendUvarint(out, uint64(len(block)))
+	out = binary.AppendUvarint(out, uint64(primary))
+	out = binary.AppendUvarint(out, uint64(len(r)))
+	out = binary.AppendUvarint(out, nbits)
+	out = append(out, lengths[:]...)
+	out = append(out, data...)
+	return out
+}
+
+// DecompressBlock inverts CompressBlock.
+func DecompressBlock(enc []byte) ([]byte, error) {
+	if len(enc) == 0 {
+		return nil, errors.New("bzip2: empty block")
+	}
+	if enc[0] == 0 {
+		return nil, nil
+	}
+	if enc[0] != 1 {
+		return nil, errors.New("bzip2: unknown block format")
+	}
+	p := enc[1:]
+	readUvarint := func() (uint64, error) {
+		v, n := binary.Uvarint(p)
+		if n <= 0 {
+			return 0, errors.New("bzip2: truncated header")
+		}
+		p = p[n:]
+		return v, nil
+	}
+	origLen, err := readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	primary, err := readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	rleLen, err := readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	if _, err = readUvarint(); err != nil { // nbits, implied by rleLen
+		return nil, err
+	}
+	if len(p) < 256 {
+		return nil, errors.New("bzip2: truncated length table")
+	}
+	var lengths [256]uint8
+	copy(lengths[:], p[:256])
+	p = p[256:]
+
+	r, err := huffDecode(&lengths, p, int(rleLen))
+	if err != nil {
+		return nil, err
+	}
+	m := unrle(r)
+	b := unmtf(m)
+	out := unbwt(b, int(primary))
+	if uint64(len(out)) != origLen {
+		return nil, errors.New("bzip2: length mismatch after decode")
+	}
+	return out, nil
+}
+
+// SplitBlocks cuts data into blocks of at most blockSize bytes.
+func SplitBlocks(data []byte, blockSize int) [][]byte {
+	if blockSize < 1 {
+		blockSize = DefaultBlockSize
+	}
+	if blockSize > MaxBlockSize {
+		blockSize = MaxBlockSize
+	}
+	var blocks [][]byte
+	for len(data) > 0 {
+		n := blockSize
+		if n > len(data) {
+			n = len(data)
+		}
+		blocks = append(blocks, data[:n])
+		data = data[n:]
+	}
+	return blocks
+}

@@ -1,0 +1,69 @@
+package bzip2
+
+import (
+	"encoding/binary"
+
+	"repro/swan"
+)
+
+// RunDecompressHyperqueue decompresses a stream produced by any of the
+// Run* compressors using the same 3-stage hyperqueue pipeline in
+// reverse: a serial task splits the stream into framed blocks, a
+// dispatcher spawns one decompression task per block (order restored by
+// the queue's reduction semantics), and a serial task concatenates the
+// output. This is the extension the paper's pipeline structure makes
+// free: the decompressor is the same program shape with the stage
+// bodies swapped.
+func RunDecompressHyperqueue(rt *swan.Runtime, stream []byte, segCap int) ([]byte, error) {
+	var out []byte
+	var firstErr error
+	rt.Run(func(f *swan.Frame) {
+		type decoded struct {
+			data []byte
+			err  error
+		}
+		outQ := swan.NewQueueWithCapacity[decoded](f, segCap)
+		f.Spawn(func(mid *swan.Frame) {
+			blkQ := swan.NewQueueWithCapacity[[]byte](mid, segCap)
+			mid.Spawn(func(c *swan.Frame) { // serial framing stage
+				p := stream
+				for len(p) > 0 {
+					n, k := binary.Uvarint(p)
+					if k <= 0 || uint64(len(p)-k) < n {
+						blkQ.Push(c, nil) // framing error marker
+						return
+					}
+					blkQ.Push(c, p[k:uint64(k)+n])
+					p = p[uint64(k)+n:]
+				}
+			}, swan.Push(blkQ))
+			mid.Spawn(func(c *swan.Frame) { // parallel block decode
+				for !blkQ.Empty(c) {
+					blk := blkQ.Pop(c)
+					c.Spawn(func(g *swan.Frame) {
+						if blk == nil {
+							outQ.Push(g, decoded{err: errInvalidStream})
+							return
+						}
+						d, err := DecompressBlock(blk)
+						outQ.Push(g, decoded{data: d, err: err})
+					}, swan.Push(outQ))
+				}
+			}, swan.Pop(blkQ), swan.Push(outQ))
+		}, swan.Push(outQ))
+		f.Spawn(func(c *swan.Frame) { // serial concatenation stage
+			for !outQ.Empty(c) {
+				d := outQ.Pop(c)
+				if d.err != nil && firstErr == nil {
+					firstErr = d.err
+				}
+				out = append(out, d.data...)
+			}
+		}, swan.Pop(outQ))
+		f.Sync()
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}

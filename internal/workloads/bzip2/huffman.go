@@ -1,0 +1,203 @@
+package bzip2
+
+import (
+	"container/heap"
+	"errors"
+	"sort"
+)
+
+// maxCodeLen caps canonical Huffman code lengths so length bytes always
+// fit comfortably and decode tables stay small.
+const maxCodeLen = 31
+
+// huffNode is a tree node for code-length derivation.
+type huffNode struct {
+	freq        int64
+	sym         int // -1 for internal
+	left, right *huffNode
+}
+
+type huffHeap []*huffNode
+
+func (h huffHeap) Len() int           { return len(h) }
+func (h huffHeap) Less(i, j int) bool { return h[i].freq < h[j].freq }
+func (h huffHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *huffHeap) Push(x any)        { *h = append(*h, x.(*huffNode)) }
+func (h *huffHeap) Pop() any          { old := *h; n := old[len(old)-1]; *h = old[:len(old)-1]; return n }
+
+// codeLengths computes Huffman code lengths for the 256 byte symbols from
+// their frequencies. Symbols with zero frequency get length 0 (no code).
+func codeLengths(freq *[256]int64) [256]uint8 {
+	var lengths [256]uint8
+	h := huffHeap{}
+	for s, f := range freq {
+		if f > 0 {
+			h = append(h, &huffNode{freq: f, sym: s})
+		}
+	}
+	if len(h) == 0 {
+		return lengths
+	}
+	if len(h) == 1 {
+		lengths[h[0].sym] = 1
+		return lengths
+	}
+	heap.Init(&h)
+	for h.Len() > 1 {
+		a := heap.Pop(&h).(*huffNode)
+		b := heap.Pop(&h).(*huffNode)
+		heap.Push(&h, &huffNode{freq: a.freq + b.freq, sym: -1, left: a, right: b})
+	}
+	var walk func(n *huffNode, depth uint8)
+	walk = func(n *huffNode, depth uint8) {
+		if n.sym >= 0 {
+			if depth == 0 {
+				depth = 1
+			}
+			if depth > maxCodeLen {
+				// Unreachable for block sizes under ~1.3 MB (a depth-32
+				// Huffman code needs Fibonacci-skewed frequencies summing
+				// past 2^21); Compress caps blocks well below that.
+				panic("bzip2: Huffman code length overflow")
+			}
+			lengths[n.sym] = depth
+			return
+		}
+		walk(n.left, depth+1)
+		walk(n.right, depth+1)
+	}
+	walk(h[0], 0)
+	return lengths
+}
+
+// canonicalCodes assigns canonical codes from lengths: codes are ordered
+// by (length, symbol), so the lengths alone reconstruct the codebook.
+func canonicalCodes(lengths *[256]uint8) (codes [256]uint32) {
+	type sl struct {
+		sym int
+		len uint8
+	}
+	var syms []sl
+	for s, l := range lengths {
+		if l > 0 {
+			syms = append(syms, sl{s, l})
+		}
+	}
+	sort.Slice(syms, func(i, j int) bool {
+		if syms[i].len != syms[j].len {
+			return syms[i].len < syms[j].len
+		}
+		return syms[i].sym < syms[j].sym
+	})
+	code := uint32(0)
+	prevLen := uint8(0)
+	for _, e := range syms {
+		code <<= (e.len - prevLen)
+		codes[e.sym] = code
+		code++
+		prevLen = e.len
+	}
+	return codes
+}
+
+// bitWriter packs bits most-significant-first.
+type bitWriter struct {
+	buf  []byte
+	cur  uint64
+	nbit uint
+}
+
+func (w *bitWriter) writeBits(code uint32, n uint8) {
+	w.cur = (w.cur << n) | uint64(code)
+	w.nbit += uint(n)
+	for w.nbit >= 8 {
+		w.nbit -= 8
+		w.buf = append(w.buf, byte(w.cur>>w.nbit))
+	}
+}
+
+func (w *bitWriter) flush() {
+	if w.nbit > 0 {
+		w.buf = append(w.buf, byte(w.cur<<(8-w.nbit)))
+		w.nbit = 0
+	}
+	w.cur = 0
+}
+
+// bitReader unpacks bits most-significant-first.
+type bitReader struct {
+	buf  []byte
+	pos  int
+	cur  uint64
+	nbit uint
+}
+
+func (r *bitReader) readBit() (uint32, error) {
+	if r.nbit == 0 {
+		if r.pos >= len(r.buf) {
+			return 0, errors.New("bzip2: bitstream exhausted")
+		}
+		r.cur = uint64(r.buf[r.pos])
+		r.pos++
+		r.nbit = 8
+	}
+	r.nbit--
+	return uint32(r.cur>>r.nbit) & 1, nil
+}
+
+// huffEncode encodes s with canonical Huffman coding; the 256 code
+// lengths plus the bit count fully describe the stream.
+func huffEncode(s []byte) (lengths [256]uint8, nbits uint64, data []byte) {
+	var freq [256]int64
+	for _, c := range s {
+		freq[c]++
+	}
+	lengths = codeLengths(&freq)
+	codes := canonicalCodes(&lengths)
+	w := bitWriter{buf: make([]byte, 0, len(s)/2+16)}
+	for _, c := range s {
+		w.writeBits(codes[c], lengths[c])
+		nbits += uint64(lengths[c])
+	}
+	w.flush()
+	return lengths, nbits, w.buf
+}
+
+// huffDecode decodes n symbols from data given the canonical code
+// lengths.
+func huffDecode(lengths *[256]uint8, data []byte, n int) ([]byte, error) {
+	// Build a decode map from (length, code) to symbol.
+	type lc struct {
+		len  uint8
+		code uint32
+	}
+	codes := canonicalCodes(lengths)
+	dec := make(map[lc]byte)
+	for s := 0; s < 256; s++ {
+		if lengths[s] > 0 {
+			dec[lc{lengths[s], codes[s]}] = byte(s)
+		}
+	}
+	out := make([]byte, 0, n)
+	r := bitReader{buf: data}
+	for len(out) < n {
+		var code uint32
+		var l uint8
+		for {
+			b, err := r.readBit()
+			if err != nil {
+				return nil, err
+			}
+			code = code<<1 | b
+			l++
+			if sym, ok := dec[lc{l, code}]; ok {
+				out = append(out, sym)
+				break
+			}
+			if l > maxCodeLen {
+				return nil, errors.New("bzip2: invalid Huffman code")
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,95 @@
+package bzip2
+
+// mtf applies move-to-front coding: each byte is replaced by its current
+// index in a self-organizing symbol list, turning the BWT's local symbol
+// clustering into runs of small values.
+func mtf(s []byte) []byte {
+	var table [256]byte
+	for i := range table {
+		table[i] = byte(i)
+	}
+	out := make([]byte, len(s))
+	for i, c := range s {
+		var j int
+		for table[j] != c {
+			j++
+		}
+		out[i] = byte(j)
+		copy(table[1:j+1], table[:j])
+		table[0] = c
+	}
+	return out
+}
+
+// unmtf inverts move-to-front coding.
+func unmtf(s []byte) []byte {
+	var table [256]byte
+	for i := range table {
+		table[i] = byte(i)
+	}
+	out := make([]byte, len(s))
+	for i, j := range s {
+		c := table[j]
+		out[i] = c
+		copy(table[1:int(j)+1], table[:j])
+		table[0] = c
+	}
+	return out
+}
+
+// rleThreshold is the run length at which run-length encoding switches to
+// an explicit count byte, as in classic bzip2 RLE.
+const rleThreshold = 4
+
+// rle run-length encodes s: runs of rleThreshold identical bytes are
+// emitted literally and followed by one count byte holding the number of
+// additional repetitions (0–255). Longer runs repeat the pattern.
+func rle(s []byte) []byte {
+	out := make([]byte, 0, len(s)/2+16)
+	for i := 0; i < len(s); {
+		c := s[i]
+		j := i
+		for j < len(s) && s[j] == c && j-i < rleThreshold+255 {
+			j++
+		}
+		n := j - i
+		if n < rleThreshold {
+			for k := 0; k < n; k++ {
+				out = append(out, c)
+			}
+		} else {
+			for k := 0; k < rleThreshold; k++ {
+				out = append(out, c)
+			}
+			out = append(out, byte(n-rleThreshold))
+		}
+		i = j
+	}
+	return out
+}
+
+// unrle inverts rle.
+func unrle(s []byte) []byte {
+	out := make([]byte, 0, len(s)*2)
+	run := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		out = append(out, c)
+		if run > 0 && c == out[len(out)-2] {
+			run++
+		} else {
+			run = 1
+		}
+		if run == rleThreshold {
+			if i+1 >= len(s) {
+				break // malformed tail; tolerate for robustness
+			}
+			i++
+			for k := 0; k < int(s[i]); k++ {
+				out = append(out, c)
+			}
+			run = 0
+		}
+	}
+	return out
+}

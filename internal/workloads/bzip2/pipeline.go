@@ -1,0 +1,175 @@
+package bzip2
+
+import (
+	"encoding/binary"
+
+	"repro/internal/rng"
+	"repro/swan"
+)
+
+// GenerateInput synthesizes compressible, deterministic input text of
+// roughly the requested size: words drawn from a small vocabulary with a
+// skewed distribution, so BWT/MTF/Huffman all have realistic work.
+func GenerateInput(seed uint64, size int) []byte {
+	r := rng.New(seed)
+	vocab := make([][]byte, 64)
+	for i := range vocab {
+		w := make([]byte, 3+r.Intn(8))
+		for j := range w {
+			w[j] = byte('a' + r.Intn(26))
+		}
+		vocab[i] = w
+	}
+	out := make([]byte, 0, size+16)
+	for len(out) < size {
+		// Skewed choice: low indices much more likely.
+		idx := r.Intn(8) * r.Intn(8)
+		out = append(out, vocab[idx]...)
+		out = append(out, ' ')
+	}
+	return out[:size]
+}
+
+// appendRecord frames one compressed block into the output stream.
+func appendRecord(out, block []byte) []byte {
+	out = binary.AppendUvarint(out, uint64(len(block)))
+	return append(out, block...)
+}
+
+// DecompressStream inverts any of the Run* pipelines' output.
+func DecompressStream(stream []byte) ([]byte, error) {
+	var out []byte
+	for len(stream) > 0 {
+		n, k := binary.Uvarint(stream)
+		if k <= 0 {
+			return nil, errInvalidStream
+		}
+		stream = stream[k:]
+		blk, err := DecompressBlock(stream[:n])
+		if err != nil {
+			return nil, err
+		}
+		stream = stream[n:]
+		out = append(out, blk...)
+	}
+	return out, nil
+}
+
+var errInvalidStream = errorString("bzip2: invalid stream framing")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+// RunSerial is the reference implementation: the serial elision of every
+// parallel variant below.
+func RunSerial(data []byte, blockSize int) []byte {
+	var out []byte
+	for _, blk := range SplitBlocks(data, blockSize) {
+		out = appendRecord(out, CompressBlock(blk))
+	}
+	return out
+}
+
+// RunObjects is the task-dataflow version (paper [7], §6.3 baseline):
+// one outdep compress task per block, serialized writes through an
+// inoutdep on the output buffer. The read stage is the spawning loop
+// itself — it cannot overlap with compression the way a queue allows,
+// but compression tasks run fully parallel.
+func RunObjects(rt *swan.Runtime, data []byte, blockSize int) []byte {
+	var out []byte
+	rt.Run(func(f *swan.Frame) {
+		sink := swan.NewVersioned[[]byte](nil)
+		for _, blk := range SplitBlocks(data, blockSize) {
+			blk := blk
+			enc := swan.NewVersioned[[]byte](nil)
+			f.Spawn(func(c *swan.Frame) {
+				enc.Set(c, CompressBlock(blk))
+			}, swan.Out(enc))
+			f.Spawn(func(c *swan.Frame) {
+				sink.Set(c, appendRecord(sink.Get(c), enc.Get(c)))
+			}, swan.In(enc), swan.InOut(sink))
+		}
+		f.Sync()
+		out = sink.Get(f)
+	})
+	return out
+}
+
+// RunHyperqueue is the paper's first bzip2 hyperqueue implementation
+// (§6.3): one task per stage connected by two hyperqueues; the middle
+// stage spawns a compression task per popped block, passing the output
+// queue's push privilege so block order is restored by the reduction
+// properties.
+func RunHyperqueue(rt *swan.Runtime, data []byte, blockSize, segCap int) []byte {
+	var out []byte
+	rt.Run(func(f *swan.Frame) {
+		q2 := swan.NewQueueWithCapacity[[]byte](f, segCap)
+		f.Spawn(func(s12 *swan.Frame) {
+			q1 := swan.NewQueueWithCapacity[[]byte](s12, segCap)
+			s12.Spawn(func(c *swan.Frame) {
+				for _, blk := range SplitBlocks(data, blockSize) {
+					q1.Push(c, blk)
+				}
+			}, swan.Push(q1))
+			s12.Spawn(func(c *swan.Frame) {
+				for !q1.Empty(c) {
+					blk := q1.Pop(c)
+					c.Spawn(func(g *swan.Frame) {
+						q2.Push(g, CompressBlock(blk))
+					}, swan.Push(q2))
+				}
+			}, swan.Pop(q1), swan.Push(q2))
+		}, swan.Push(q2))
+		f.Spawn(func(c *swan.Frame) {
+			for !q2.Empty(c) {
+				out = appendRecord(out, q2.Pop(c))
+			}
+		}, swan.Pop(q2))
+		f.Sync()
+	})
+	return out
+}
+
+// RunHyperqueueLoopSplit applies the §5.4 queue-loop-split idiom: the
+// block loop is hoisted out of the producer task so that at most
+// batch blocks are queued per round, bounding memory growth when the
+// program executes serially while keeping the same parallelism.
+func RunHyperqueueLoopSplit(rt *swan.Runtime, data []byte, blockSize, segCap, batch int) []byte {
+	if batch < 1 {
+		batch = 8
+	}
+	var out []byte
+	rt.Run(func(f *swan.Frame) {
+		q2 := swan.NewQueueWithCapacity[[]byte](f, segCap)
+		f.Spawn(func(s12 *swan.Frame) {
+			q1 := swan.NewQueueWithCapacity[[]byte](s12, segCap)
+			blocks := SplitBlocks(data, blockSize)
+			for len(blocks) > 0 {
+				n := batch
+				if n > len(blocks) {
+					n = len(blocks)
+				}
+				for _, blk := range blocks[:n] {
+					q1.Push(s12, blk)
+				}
+				blocks = blocks[n:]
+				s12.Spawn(func(c *swan.Frame) {
+					for !q1.Empty(c) {
+						blk := q1.Pop(c)
+						c.Spawn(func(g *swan.Frame) {
+							q2.Push(g, CompressBlock(blk))
+						}, swan.Push(q2))
+					}
+				}, swan.Pop(q1), swan.Push(q2))
+			}
+		}, swan.Push(q2))
+		f.Spawn(func(c *swan.Frame) {
+			for !q2.Empty(c) {
+				out = appendRecord(out, q2.Pop(c))
+			}
+		}, swan.Pop(q2))
+		f.Sync()
+	})
+	return out
+}

@@ -1,0 +1,270 @@
+// Package dedup reproduces the PARSEC dedup kernel the paper evaluates in
+// §6.2: a 5-stage pipeline — Fragment (coarse chunking), FragmentRefine
+// (fine chunking), Deduplicate (content hashing against a global store),
+// Compress (unique chunks only) and Output (serial, in stream order) —
+// implemented over pthreads-style, TBB-style, task-dataflow and
+// hyperqueue models.
+//
+// The content pipeline is real: rolling-hash content-defined chunking,
+// SHA-256 identity, DEFLATE compression, and a self-describing output
+// stream that Reassemble inverts back to the input bytes.
+package dedup
+
+import (
+	"bytes"
+	"compress/flate"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"io"
+	"sync"
+)
+
+// Options fixes the chunking geometry and the per-stage cost model.
+type Options struct {
+	CoarseAvg int // average coarse-chunk size (power of two), Fragment stage
+	FineAvg   int // average fine-chunk size (power of two), FragmentRefine stage
+	MaxFactor int // maximum chunk size = avg * MaxFactor
+
+	// DedupRounds and OutputRounds calibrate the Deduplicate and Output
+	// stage costs to the paper's Table 2 proportions (7.9% and 8.2%).
+	// The paper's Deduplicate maintains an on-disk-backed chunk index
+	// and its Output performs real disk writes; our SHA-256+map and
+	// buffer append are relatively cheaper than PARSEC's against flate,
+	// so the stages repeat their hash/checksum work this many times.
+	// Fig. 11's speedup shape (Output is the limiting serial stage)
+	// depends on these proportions, not on absolute cost.
+	DedupRounds  int
+	OutputRounds int
+}
+
+// DefaultOptions mirrors the proportions of PARSEC's configuration
+// scaled to benchmark-friendly sizes, calibrated against Table 2.
+func DefaultOptions() Options {
+	return Options{
+		CoarseAvg: 64 * 1024, FineAvg: 4 * 1024, MaxFactor: 4,
+		DedupRounds: 7, OutputRounds: 25,
+	}
+}
+
+// Chunk is a fine-grained chunk moving through the pipeline.
+type Chunk struct {
+	Data       []byte
+	Hash       [32]byte
+	ID         int64
+	Dup        bool
+	Compressed []byte
+}
+
+// rolling is a simple multiplicative rolling hash over a fixed window
+// (Rabin–Karp style), used for content-defined chunk boundaries.
+const (
+	hashWindow = 32
+	hashPrime  = 1099511628211 // FNV prime
+)
+
+var hashPowTable = func() (t [256]uint64) {
+	// pow = hashPrime^(hashWindow-1) mod 2^64, premultiplied per byte value.
+	pow := uint64(1)
+	for i := 0; i < hashWindow-1; i++ {
+		pow *= hashPrime
+	}
+	for b := range t {
+		t[b] = uint64(b+1) * pow
+	}
+	return t
+}()
+
+// split cuts data at content-defined boundaries with the given average
+// size (must be a power of two). A boundary is declared where the rolling
+// hash has avg-1 trailing zero-masked bits; chunks are capped at
+// avg*maxFactor.
+func split(data []byte, avg, maxFactor int) [][]byte {
+	if avg < hashWindow*2 {
+		avg = hashWindow * 2
+	}
+	mask := uint64(avg - 1)
+	maxLen := avg * maxFactor
+	var out [][]byte
+	start := 0
+	var h uint64
+	for i := 0; i < len(data); i++ {
+		h = h*hashPrime + uint64(data[i]+1)
+		if i-start >= hashWindow {
+			h -= hashPowTable[data[i-hashWindow]] * hashPrime
+		}
+		if i-start+1 >= hashWindow && (h&mask) == mask || i-start+1 >= maxLen {
+			out = append(out, data[start:i+1])
+			start = i + 1
+			h = 0
+		}
+	}
+	if start < len(data) {
+		out = append(out, data[start:])
+	}
+	return out
+}
+
+// Fragment performs the coarse first-stage chunking.
+func Fragment(data []byte, o Options) [][]byte { return split(data, o.CoarseAvg, o.MaxFactor) }
+
+// Refine performs the fine second-stage chunking of one coarse chunk.
+func Refine(coarse []byte, o Options) [][]byte { return split(coarse, o.FineAvg, o.MaxFactor) }
+
+// Store is the global deduplication table: content hash to chunk id.
+// Lookup is first-writer-wins under striped locking, exactly the shared
+// hash table the PARSEC kernel uses.
+type Store struct {
+	shards [64]struct {
+		mu sync.Mutex
+		m  map[[32]byte]int64
+	}
+	next struct {
+		sync.Mutex
+		id int64
+	}
+}
+
+// NewStore returns an empty deduplication table.
+func NewStore() *Store {
+	s := &Store{}
+	for i := range s.shards {
+		s.shards[i].m = make(map[[32]byte]int64)
+	}
+	return s
+}
+
+// Intern returns the id for hash, allocating a fresh one (dup=false) on
+// first sight.
+func (s *Store) Intern(hash [32]byte) (id int64, dup bool) {
+	sh := &s.shards[hash[0]&63]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if id, ok := sh.m[hash]; ok {
+		return id, true
+	}
+	s.next.Lock()
+	id = s.next.id
+	s.next.id++
+	s.next.Unlock()
+	sh.m[hash] = id
+	return id, false
+}
+
+// Deduplicate hashes the chunk and consults the store. rounds calibrates
+// the stage cost (see Options.DedupRounds); every round recomputes the
+// content hash, the last one is authoritative.
+func Deduplicate(c *Chunk, s *Store, rounds int) {
+	if rounds < 1 {
+		rounds = 1
+	}
+	for i := 0; i < rounds; i++ {
+		c.Hash = sha256.Sum256(c.Data)
+	}
+	c.ID, c.Dup = s.Intern(c.Hash)
+}
+
+// Compress DEFLATEs a unique chunk's payload; duplicates are skipped, as
+// in the paper's pipeline (§6.2: "the compression stage is skipped for
+// duplicate chunks").
+func Compress(c *Chunk) {
+	if c.Dup {
+		return
+	}
+	var buf bytes.Buffer
+	w, _ := flate.NewWriter(&buf, flate.DefaultCompression)
+	w.Write(c.Data)
+	w.Close()
+	c.Compressed = buf.Bytes()
+}
+
+// Output record kinds.
+const (
+	recUnique = 1
+	recDup    = 2
+)
+
+// AppendRecord serializes one chunk into the output stream and returns a
+// position-dependent checksum, modelling the Output stage's per-byte
+// write work.
+func AppendRecord(out []byte, c *Chunk) []byte {
+	if c.Dup {
+		out = append(out, recDup)
+		out = binary.AppendUvarint(out, uint64(c.ID))
+		return out
+	}
+	out = append(out, recUnique)
+	out = binary.AppendUvarint(out, uint64(c.ID))
+	out = binary.AppendUvarint(out, uint64(len(c.Compressed)))
+	return append(out, c.Compressed...)
+}
+
+// OutputChecksum burns the Output stage's serial per-byte cost (the
+// paper's Output writes every record to disk; rounds passes over the
+// record model that write — see Options.OutputRounds).
+func OutputChecksum(sum uint64, rec []byte, rounds int) uint64 {
+	if rounds < 1 {
+		rounds = 1
+	}
+	for i := 0; i < rounds; i++ {
+		for _, b := range rec {
+			sum = sum*31 + uint64(b)
+		}
+	}
+	return sum
+}
+
+// Reassemble inverts the output stream back to the original data. Two
+// passes: unique payloads may appear after duplicate references when the
+// pipeline ran in parallel (the dedup decision is arrival-ordered), so
+// ids are resolved first.
+func Reassemble(stream []byte) ([]byte, error) {
+	payload := make(map[int64][]byte)
+	type ref struct {
+		id int64
+	}
+	var order []ref
+	p := stream
+	for len(p) > 0 {
+		kind := p[0]
+		p = p[1:]
+		idU, n := binary.Uvarint(p)
+		if n <= 0 {
+			return nil, errors.New("dedup: bad id varint")
+		}
+		id := int64(idU)
+		p = p[n:]
+		switch kind {
+		case recUnique:
+			sz, n := binary.Uvarint(p)
+			if n <= 0 {
+				return nil, errors.New("dedup: bad size varint")
+			}
+			p = p[n:]
+			if uint64(len(p)) < sz {
+				return nil, errors.New("dedup: truncated payload")
+			}
+			r := flate.NewReader(bytes.NewReader(p[:sz]))
+			raw, err := io.ReadAll(r)
+			if err != nil {
+				return nil, err
+			}
+			payload[id] = raw
+			p = p[sz:]
+			order = append(order, ref{id})
+		case recDup:
+			order = append(order, ref{id})
+		default:
+			return nil, errors.New("dedup: unknown record kind")
+		}
+	}
+	var out []byte
+	for _, r := range order {
+		d, ok := payload[r.id]
+		if !ok {
+			return nil, errors.New("dedup: dangling duplicate reference")
+		}
+		out = append(out, d...)
+	}
+	return out, nil
+}

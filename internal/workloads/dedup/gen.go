@@ -1,0 +1,46 @@
+package dedup
+
+import "repro/internal/rng"
+
+// GenerateInput synthesizes a deterministic data stream of the given size
+// with controlled duplication: a pool of base blocks is generated once,
+// and the stream repeats pool blocks (with probability dupRatio) or emits
+// fresh pseudo-random blocks. The PARSEC inputs deduplicate heavily; a
+// dupRatio around 0.5 reproduces that regime.
+//
+// Block payloads are word-like (drawn from a vocabulary) so the Compress
+// stage performs realistic DEFLATE work rather than storing incompressible
+// noise.
+func GenerateInput(seed uint64, size int, dupRatio float64) []byte {
+	r := rng.New(seed)
+	vocab := make([][]byte, 256)
+	for i := range vocab {
+		w := make([]byte, 2+r.Intn(10))
+		for j := range w {
+			w[j] = byte('A' + r.Intn(58))
+		}
+		vocab[i] = w
+	}
+	makeBlock := func(g *rng.RNG, n int) []byte {
+		b := make([]byte, 0, n+16)
+		for len(b) < n {
+			b = append(b, vocab[g.Intn(64)*g.Intn(4)]...)
+			b = append(b, ' ')
+		}
+		return b[:n]
+	}
+	const blockSize = 8 * 1024
+	pool := make([][]byte, 32)
+	for i := range pool {
+		pool[i] = makeBlock(r.Split(), blockSize)
+	}
+	out := make([]byte, 0, size+blockSize)
+	for len(out) < size {
+		if r.Float64() < dupRatio {
+			out = append(out, pool[r.Intn(len(pool))]...)
+		} else {
+			out = append(out, makeBlock(r.Split(), blockSize)...)
+		}
+	}
+	return out[:size]
+}

@@ -1,0 +1,196 @@
+package dedup
+
+import (
+	"repro/internal/pipeline"
+	"repro/swan"
+)
+
+// Result bundles an output stream with the Output stage's checksum.
+type Result struct {
+	Stream   []byte
+	Checksum uint64
+}
+
+func output(out []byte, sum uint64, c *Chunk, o Options) ([]byte, uint64) {
+	before := len(out)
+	out = AppendRecord(out, c)
+	return out, OutputChecksum(sum, out[before:], o.OutputRounds)
+}
+
+// RunSerial is the sequential reference implementation (and the serial
+// elision of the dataflow and hyperqueue versions).
+func RunSerial(data []byte, o Options) Result {
+	store := NewStore()
+	var res Result
+	for _, coarse := range Fragment(data, o) {
+		for _, fine := range Refine(coarse, o) {
+			c := &Chunk{Data: fine}
+			Deduplicate(c, store, o.DedupRounds)
+			Compress(c)
+			res.Stream, res.Checksum = output(res.Stream, res.Checksum, c, o)
+		}
+	}
+	return res
+}
+
+// RunPthreads is the PARSEC-style pthreads pipeline: a thread pool per
+// stage connected by bounded queues, the Output stage reordering to
+// stream order. workersPerStage reproduces PARSEC's oversubscription
+// (it starts that many threads for each parallel stage regardless of
+// core count).
+func RunPthreads(data []byte, o Options, workersPerStage, queueCap int) Result {
+	store := NewStore()
+	var res Result
+	pipeline.RunPthreads(
+		func(emit func(any)) { // Fragment
+			for _, coarse := range Fragment(data, o) {
+				emit(coarse)
+			}
+		},
+		[]pipeline.Stage{
+			{Name: "refine", Workers: workersPerStage, Fn: func(d any, emit func(any)) {
+				for _, fine := range Refine(d.([]byte), o) {
+					emit(&Chunk{Data: fine})
+				}
+			}},
+			{Name: "dedup", Workers: workersPerStage, Fn: func(d any, emit func(any)) {
+				c := d.(*Chunk)
+				Deduplicate(c, store, o.DedupRounds)
+				emit(c)
+			}},
+			{Name: "compress", Workers: workersPerStage, Fn: func(d any, emit func(any)) {
+				c := d.(*Chunk)
+				Compress(c)
+				emit(c)
+			}},
+			{Name: "output", Ordered: true, Fn: func(d any, emit func(any)) {
+				res.Stream, res.Checksum = output(res.Stream, res.Checksum, d.(*Chunk), o)
+			}},
+		},
+		queueCap,
+	)
+	return res
+}
+
+// RunTBB is the structured nested-pipeline restructuring TBB forces
+// (Reed et al.; paper Fig. 10(a)): because TBB filters are 1:1, the
+// variable-fan-out refine stage must gather each coarse chunk's fine
+// chunks into a list, and the output stage waits for whole lists — the
+// scalability limitation the paper calls out.
+func RunTBB(data []byte, o Options, workers, tokens int) Result {
+	store := NewStore()
+	var res Result
+	coarse := Fragment(data, o)
+	i := 0
+	pipeline.RunTBB(
+		func() any { // serial input filter: next coarse chunk
+			if i >= len(coarse) {
+				return nil
+			}
+			i++
+			return coarse[i-1]
+		},
+		[]pipeline.Filter{
+			{Name: "inner", Mode: pipeline.Parallel, Fn: func(d any) any {
+				// Whole inner pipeline for one coarse chunk: refine,
+				// dedup, compress, gathered into a list.
+				fines := Refine(d.([]byte), o)
+				chunks := make([]*Chunk, len(fines))
+				for j, fine := range fines {
+					c := &Chunk{Data: fine}
+					Deduplicate(c, store, o.DedupRounds)
+					Compress(c)
+					chunks[j] = c
+				}
+				return chunks
+			}},
+			{Name: "output", Mode: pipeline.SerialInOrder, Fn: func(d any) any {
+				for _, c := range d.([]*Chunk) {
+					res.Stream, res.Checksum = output(res.Stream, res.Checksum, c, o)
+				}
+				return d
+			}},
+		},
+		workers, tokens,
+	)
+	return res
+}
+
+// RunObjects is the task-dataflow version without hyperqueues: one
+// processing task per coarse chunk producing a gathered list (outdep),
+// and a serialized output task per list (inoutdep on the sink). Like the
+// TBB version it cannot stream fine chunks — the paper's motivation for
+// hyperqueues in §6.2.
+func RunObjects(rt *swan.Runtime, data []byte, o Options) Result {
+	store := NewStore()
+	var res Result
+	rt.Run(func(f *swan.Frame) {
+		sink := swan.NewVersioned(Result{})
+		for _, coarse := range Fragment(data, o) {
+			coarse := coarse
+			list := swan.NewVersioned[[]*Chunk](nil)
+			f.Spawn(func(c *swan.Frame) {
+				fines := Refine(coarse, o)
+				chunks := make([]*Chunk, len(fines))
+				for j, fine := range fines {
+					ch := &Chunk{Data: fine}
+					Deduplicate(ch, store, o.DedupRounds)
+					Compress(ch)
+					chunks[j] = ch
+				}
+				list.Set(c, chunks)
+			}, swan.Out(list))
+			f.Spawn(func(c *swan.Frame) {
+				r := sink.Get(c)
+				for _, ch := range list.Get(c) {
+					r.Stream, r.Checksum = output(r.Stream, r.Checksum, ch, o)
+				}
+				sink.Set(c, r)
+			}, swan.In(list), swan.InOut(sink))
+		}
+		f.Sync()
+		res = sink.Get(f)
+	})
+	return res
+}
+
+// RunHyperqueue is the paper's dedup (Fig. 10(b,c)): Fragment spawns, per
+// coarse chunk, a nested pipeline of FragmentRefine and a merged
+// DeduplicateAndCompress task connected by a chunk-local hyperqueue; all
+// nested pipelines push completed chunks onto one global write queue that
+// the Output task drains concurrently — no waiting for whole coarse
+// chunks.
+func RunHyperqueue(rt *swan.Runtime, data []byte, o Options, segCap int) Result {
+	store := NewStore()
+	var res Result
+	rt.Run(func(f *swan.Frame) {
+		writeQ := swan.NewQueueWithCapacity[*Chunk](f, segCap)
+		f.Spawn(func(frag *swan.Frame) { // Fragment
+			for _, coarse := range Fragment(data, o) {
+				coarse := coarse
+				// Nested pipeline with a local queue (Fig. 10(c)).
+				q := swan.NewQueueWithCapacity[*Chunk](frag, segCap)
+				frag.Spawn(func(c *swan.Frame) { // FragmentRefine
+					for _, fine := range Refine(coarse, o) {
+						q.Push(c, &Chunk{Data: fine})
+					}
+				}, swan.Push(q))
+				frag.Spawn(func(c *swan.Frame) { // DeduplicateAndCompress (merged, §6.2)
+					for !q.Empty(c) {
+						ch := q.Pop(c)
+						Deduplicate(ch, store, o.DedupRounds)
+						Compress(ch)
+						writeQ.Push(c, ch)
+					}
+				}, swan.Pop(q), swan.Push(writeQ))
+			}
+		}, swan.Push(writeQ))
+		f.Spawn(func(c *swan.Frame) { // Output
+			for !writeQ.Empty(c) {
+				res.Stream, res.Checksum = output(res.Stream, res.Checksum, writeQ.Pop(c), o)
+			}
+		}, swan.Pop(writeQ))
+		f.Sync()
+	})
+	return res
+}

@@ -1,0 +1,124 @@
+package dedup
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"io"
+
+	"repro/swan"
+)
+
+// RestoreHyperqueue is the parallel inverse of the dedup pipeline: a
+// serial task frames the output stream into records, parallel tasks
+// inflate unique payloads (order restored by the queue's reduction
+// semantics), and a serial task resolves duplicate references and
+// concatenates. It mirrors PARSEC's `restore` mode as a hyperqueue
+// program and doubles as an end-to-end integrity check for every
+// compressor variant.
+//
+// Forward references — a duplicate record appearing before the unique
+// record that carries its payload, possible when the compressor ran in
+// parallel — are parked and resolved as payloads arrive; the final
+// stitching is a single ordered pass.
+func RestoreHyperqueue(rt *swan.Runtime, stream []byte, segCap int) ([]byte, error) {
+	type rec struct {
+		id      int64
+		payload []byte // nil for duplicate references
+		err     error
+	}
+	var (
+		parts    [][]byte // one per record, nil where a dup awaits payload
+		partIDs  []int64
+		payloads = map[int64][]byte{}
+		firstErr error
+	)
+	rt.Run(func(f *swan.Frame) {
+		outQ := swan.NewQueueWithCapacity[rec](f, segCap)
+		f.Spawn(func(mid *swan.Frame) {
+			type framed struct {
+				id   int64
+				data []byte // compressed payload, nil for dup
+				bad  bool
+			}
+			frQ := swan.NewQueueWithCapacity[framed](mid, segCap)
+			mid.Spawn(func(c *swan.Frame) { // serial framing
+				p := stream
+				for len(p) > 0 {
+					kind := p[0]
+					p = p[1:]
+					id, n := binary.Uvarint(p)
+					if n <= 0 {
+						frQ.Push(c, framed{bad: true})
+						return
+					}
+					p = p[n:]
+					switch kind {
+					case recUnique:
+						sz, n := binary.Uvarint(p)
+						if n <= 0 || uint64(len(p)-n) < sz {
+							frQ.Push(c, framed{bad: true})
+							return
+						}
+						p = p[n:]
+						frQ.Push(c, framed{id: int64(id), data: p[:sz]})
+						p = p[sz:]
+					case recDup:
+						frQ.Push(c, framed{id: int64(id)})
+					default:
+						frQ.Push(c, framed{bad: true})
+						return
+					}
+				}
+			}, swan.Push(frQ))
+			mid.Spawn(func(c *swan.Frame) { // parallel inflate
+				for !frQ.Empty(c) {
+					fr := frQ.Pop(c)
+					c.Spawn(func(g *swan.Frame) {
+						switch {
+						case fr.bad:
+							outQ.Push(g, rec{err: errors.New("dedup: malformed stream")})
+						case fr.data == nil:
+							outQ.Push(g, rec{id: fr.id})
+						default:
+							r := flate.NewReader(bytes.NewReader(fr.data))
+							raw, err := io.ReadAll(r)
+							outQ.Push(g, rec{id: fr.id, payload: raw, err: err})
+						}
+					}, swan.Push(outQ))
+				}
+			}, swan.Pop(frQ), swan.Push(outQ))
+		}, swan.Push(outQ))
+		f.Spawn(func(c *swan.Frame) { // serial gather
+			for !outQ.Empty(c) {
+				r := outQ.Pop(c)
+				if r.err != nil && firstErr == nil {
+					firstErr = r.err
+				}
+				if r.payload != nil {
+					payloads[r.id] = r.payload
+				}
+				parts = append(parts, r.payload)
+				partIDs = append(partIDs, r.id)
+			}
+		}, swan.Pop(outQ))
+		f.Sync()
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	// Stitch: resolve duplicate references (including forward ones).
+	var out []byte
+	for i, part := range parts {
+		if part == nil {
+			resolved, ok := payloads[partIDs[i]]
+			if !ok {
+				return nil, errors.New("dedup: dangling duplicate reference")
+			}
+			part = resolved
+		}
+		out = append(out, part...)
+	}
+	return out, nil
+}

@@ -1,0 +1,227 @@
+package ferret
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/swan"
+)
+
+func tinyParams() Params {
+	p := DefaultParams()
+	p.NumImages = 40
+	p.DBSize = 60
+	p.VectIters = 4
+	return p
+}
+
+func TestCorpusDeterministic(t *testing.T) {
+	p := tinyParams()
+	a, b := NewCorpus(p), NewCorpus(p)
+	ia, ib := a.LoadImage(7), b.LoadImage(7)
+	if !bytes.Equal(ia.Pix, ib.Pix) {
+		t.Fatal("image generation not deterministic")
+	}
+	if len(a.DB.Weights) != p.DBSize {
+		t.Fatalf("db has %d entries, want %d", len(a.DB.Weights), p.DBSize)
+	}
+}
+
+func TestWalkVisitsAllOnce(t *testing.T) {
+	p := tinyParams()
+	c := NewCorpus(p)
+	seen := map[int]int{}
+	c.Root.Walk(func(id int) { seen[id]++ })
+	if len(seen) != p.NumImages {
+		t.Fatalf("walk visited %d images, want %d", len(seen), p.NumImages)
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Fatalf("image %d visited %d times", id, n)
+		}
+	}
+}
+
+func TestIteratorMatchesWalk(t *testing.T) {
+	c := NewCorpus(tinyParams())
+	var walked []int
+	c.Root.Walk(func(id int) { walked = append(walked, id) })
+	next := c.Root.Iterator()
+	for i := 0; ; i++ {
+		id, ok := next()
+		if !ok {
+			if i != len(walked) {
+				t.Fatalf("iterator yielded %d, walk yielded %d", i, len(walked))
+			}
+			break
+		}
+		if i >= len(walked) || id != walked[i] {
+			t.Fatalf("iterator[%d] = %d, walk[%d] = %d", i, id, i, walked[i])
+		}
+	}
+}
+
+func TestSegmentLabelsValid(t *testing.T) {
+	c := NewCorpus(tinyParams())
+	img := c.LoadImage(0)
+	s := Segment(img, 5)
+	if len(s.Labels) != len(img.Pix) {
+		t.Fatal("label count mismatch")
+	}
+	for _, l := range s.Labels {
+		if int(l) >= 5 {
+			t.Fatalf("label %d out of range", l)
+		}
+	}
+}
+
+func TestSegmentSeparatesIntensities(t *testing.T) {
+	// A half-dark, half-bright image must land in different clusters.
+	img := &Image{W: 16, H: 16, Pix: make([]byte, 256)}
+	for i := 128; i < 256; i++ {
+		img.Pix[i] = 250
+	}
+	s := Segment(img, 2)
+	if s.Labels[0] == s.Labels[255] {
+		t.Fatal("k-means merged dark and bright pixels")
+	}
+}
+
+func TestExtractStatistics(t *testing.T) {
+	img := &Image{W: 4, H: 4, Pix: []byte{0, 0, 0, 0, 255, 255, 255, 255, 0, 0, 0, 0, 255, 255, 255, 255}}
+	s := Segment(img, 2)
+	f := Extract(s)
+	var total int
+	for _, st := range f.Segs {
+		total += st.Count
+	}
+	if total != 16 {
+		t.Fatalf("segment counts sum to %d, want 16", total)
+	}
+}
+
+func TestVectorizeNormalized(t *testing.T) {
+	c := NewCorpus(tinyParams())
+	sig := Vectorize(Extract(Segment(c.LoadImage(1), 5)), 8)
+	var wsum float64
+	for _, w := range sig.Weights {
+		wsum += w
+	}
+	if wsum < 0.99 || wsum > 1.01 {
+		t.Fatalf("signature weights sum to %v, want 1", wsum)
+	}
+	for _, pt := range sig.Points {
+		if len(pt) != 20 {
+			t.Fatalf("point dim %d, want 20", len(pt))
+		}
+	}
+}
+
+func TestEMDProperties(t *testing.T) {
+	w := []float64{0.5, 0.5}
+	p1 := [][]float64{{0, 0}, {1, 1}}
+	if d := emdGreedy(&emdScratch{}, w, p1, w, p1); d != 0 {
+		t.Fatalf("EMD to self = %v, want 0", d)
+	}
+	p2 := [][]float64{{2, 2}, {3, 3}}
+	if d := emdGreedy(&emdScratch{}, w, p1, w, p2); d <= 0 {
+		t.Fatalf("EMD to distinct set = %v, want > 0", d)
+	}
+	// Symmetry of the greedy approximation on equal-size sets.
+	d12 := emdGreedy(&emdScratch{}, w, p1, w, p2)
+	d21 := emdGreedy(&emdScratch{}, w, p2, w, p1)
+	if d12 != d21 {
+		t.Fatalf("EMD asymmetric: %v vs %v", d12, d21)
+	}
+}
+
+func TestRankTopKSortedAndSelfFound(t *testing.T) {
+	p := tinyParams()
+	c := NewCorpus(p)
+	sig := Vectorize(Extract(Segment(c.LoadImage(3), p.Clusters)), p.VectIters)
+	r := Rank(sig, c.DB, p.TopK)
+	if len(r.Top) != p.TopK {
+		t.Fatalf("got %d matches, want %d", len(r.Top), p.TopK)
+	}
+	for i := 1; i < len(r.Top); i++ {
+		if r.Top[i].Dist < r.Top[i-1].Dist {
+			t.Fatal("top-K not sorted by distance")
+		}
+	}
+}
+
+func TestRankBestIsGlobalMin(t *testing.T) {
+	p := tinyParams()
+	c := NewCorpus(p)
+	sig := Vectorize(Extract(Segment(c.LoadImage(5), p.Clusters)), p.VectIters)
+	r := Rank(sig, c.DB, 1)
+	best := r.Top[0].Dist
+	for e := range c.DB.Weights {
+		d := emdGreedy(&emdScratch{}, sig.Weights, sig.Points, c.DB.Weights[e], c.DB.Points[e])
+		if d < best {
+			t.Fatalf("entry %d has dist %v < reported best %v", e, d, best)
+		}
+	}
+}
+
+func TestSerialDeterministic(t *testing.T) {
+	p := tinyParams()
+	c := NewCorpus(p)
+	a := RunSerial(c, p)
+	b := RunSerial(c, p)
+	if !bytes.Equal(a.Text, b.Text) || a.Checksum != b.Checksum {
+		t.Fatal("serial run not deterministic")
+	}
+	if a.Queries != p.NumImages {
+		t.Fatalf("processed %d queries, want %d", a.Queries, p.NumImages)
+	}
+}
+
+func TestAllModelsMatchSerial(t *testing.T) {
+	p := tinyParams()
+	c := NewCorpus(p)
+	ref := RunSerial(c, p)
+	check := func(name string, got *Output) {
+		t.Helper()
+		if got.Queries != ref.Queries {
+			t.Fatalf("%s: %d queries, want %d", name, got.Queries, ref.Queries)
+		}
+		if !bytes.Equal(got.Text, ref.Text) {
+			t.Fatalf("%s: output text differs from serial", name)
+		}
+		if got.Checksum != ref.Checksum {
+			t.Fatalf("%s: checksum differs", name)
+		}
+	}
+	check("pthreads", RunPthreads(c, p, 6, 16))
+	check("tbb", RunTBB(c, p, 6, 12))
+	check("objects", RunObjects(swan.New(8), c, p))
+	check("hyperqueue", RunHyperqueue(swan.New(8), c, p, 16))
+	check("hyperqueue-1w", RunHyperqueue(swan.New(1), c, p, 16))
+}
+
+func TestCharacterizeStages(t *testing.T) {
+	// Uses the calibrated default stage costs (smaller image count) so the
+	// Table 1 shape — ranking dominant — is actually observable.
+	p := DefaultParams()
+	p.NumImages = 32
+	c := NewCorpus(p)
+	rows := CharacterizeStages(c, p)
+	if len(rows) != 6 {
+		t.Fatalf("%d rows, want 6", len(rows))
+	}
+	var pct float64
+	for _, r := range rows {
+		if r.Seconds < 0 {
+			t.Fatalf("stage %s has negative time", r.Name)
+		}
+		pct += r.Percent
+	}
+	if pct < 99.9 || pct > 100.1 {
+		t.Fatalf("percentages sum to %v", pct)
+	}
+	// Ranking must dominate, as in Table 1.
+	if rows[4].Percent < 40 {
+		t.Errorf("Ranking is %.1f%% of serial time; expected the dominant stage", rows[4].Percent)
+	}
+}

@@ -1,0 +1,295 @@
+package ferret
+
+import (
+	"math"
+	"sort"
+	"strconv"
+
+	"repro/internal/rng"
+)
+
+// Segmented is an image with per-pixel cluster labels.
+type Segmented struct {
+	Img    *Image
+	Labels []uint8
+	K      int
+}
+
+// SegFeatures is the raw per-segment statistics from the extraction
+// stage.
+type SegFeatures struct {
+	Img  *Image
+	Segs []SegStat
+}
+
+// SegStat summarizes one segment.
+type SegStat struct {
+	Count  int
+	Mean   float64
+	Hist   [16]float64
+	Moment [4]float64
+}
+
+// Signature is the vectorized form used for ranking: a weighted set of
+// points, one per segment (an Earth-Mover's-Distance-style signature).
+type Signature struct {
+	Img     *Image
+	Weights []float64
+	Points  [][]float64 // len == len(Weights), dim = 20 (16 hist + 4 moments)
+}
+
+// Match is one ranked database hit.
+type Match struct {
+	DBIndex int
+	Dist    float64
+}
+
+// Result is a ranked query.
+type Result struct {
+	ImgID int
+	Name  string
+	Top   []Match
+}
+
+// Segment clusters pixel intensities with k-means (Lloyd's algorithm,
+// fixed iteration count) — the Segmentation stage.
+func Segment(img *Image, k int) *Segmented {
+	n := len(img.Pix)
+	labels := make([]uint8, n)
+	cent := make([]float64, k)
+	for i := range cent {
+		cent[i] = float64(255*i) / float64(k-1)
+	}
+	sum := make([]float64, k)
+	cnt := make([]int, k)
+	for iter := 0; iter < 4; iter++ {
+		for i := range sum {
+			sum[i], cnt[i] = 0, 0
+		}
+		for i, p := range img.Pix {
+			v := float64(p)
+			best, bd := 0, math.Abs(v-cent[0])
+			for j := 1; j < k; j++ {
+				if d := math.Abs(v - cent[j]); d < bd {
+					best, bd = j, d
+				}
+			}
+			labels[i] = uint8(best)
+			sum[best] += v
+			cnt[best]++
+		}
+		for j := 0; j < k; j++ {
+			if cnt[j] > 0 {
+				cent[j] = sum[j] / float64(cnt[j])
+			}
+		}
+	}
+	return &Segmented{Img: img, Labels: labels, K: k}
+}
+
+// Extract computes per-segment statistics — the (cheap) feature
+// extraction stage.
+func Extract(s *Segmented) *SegFeatures {
+	segs := make([]SegStat, s.K)
+	for i, p := range s.Img.Pix {
+		st := &segs[s.Labels[i]]
+		st.Count++
+		st.Mean += float64(p)
+		st.Hist[p>>4]++
+	}
+	for i := range segs {
+		if segs[i].Count > 0 {
+			segs[i].Mean /= float64(segs[i].Count)
+		}
+	}
+	return &SegFeatures{Img: s.Img, Segs: segs}
+}
+
+// Vectorize turns segment statistics into a normalized EMD signature —
+// the Vectorizing stage. The iterative refinement (power-iteration style
+// re-weighting over the histogram) reproduces the stage's 16% share of
+// serial time in Table 1.
+func Vectorize(f *SegFeatures, iters int) *Signature {
+	sig := &Signature{Img: f.Img}
+	for si := range f.Segs {
+		st := &f.Segs[si]
+		if st.Count == 0 {
+			continue
+		}
+		point := make([]float64, 20)
+		// Normalized histogram.
+		for i, h := range st.Hist {
+			point[i] = h / float64(st.Count)
+		}
+		// Central moments 1..4 of pixel intensity within the segment,
+		// iteratively refined (the knob that sets this stage's cost).
+		m := st.Mean / 255
+		for it := 0; it < iters; it++ {
+			var acc [4]float64
+			for i := 0; i < 16; i++ {
+				d := float64(i)/15 - m
+				w := point[i]
+				acc[0] += w * d
+				acc[1] += w * d * d
+				acc[2] += w * d * d * d
+				acc[3] += w * d * d * d * d
+			}
+			// Re-weight the histogram toward high-information bins.
+			var norm float64
+			for i := 0; i < 16; i++ {
+				d := float64(i)/15 - m
+				point[i] = point[i] * (1 + 0.01*d*d)
+				norm += point[i]
+			}
+			for i := 0; i < 16; i++ {
+				point[i] /= norm
+			}
+			copy(point[16:], acc[:])
+		}
+		sig.Points = append(sig.Points, point)
+		sig.Weights = append(sig.Weights, float64(st.Count)/float64(len(f.Img.Pix)))
+	}
+	return sig
+}
+
+// DB is the ranking database: a set of reference signatures.
+type DB struct {
+	Weights [][]float64
+	Points  [][][]float64
+}
+
+func newDB(p Params) *DB {
+	r := rng.New(p.Seed ^ 0xdb)
+	db := &DB{}
+	for e := 0; e < p.DBSize; e++ {
+		k := 3 + r.Intn(4)
+		ws := make([]float64, k)
+		pts := make([][]float64, k)
+		var norm float64
+		for i := 0; i < k; i++ {
+			ws[i] = 0.1 + r.Float64()
+			norm += ws[i]
+			pt := make([]float64, 20)
+			for j := range pt {
+				pt[j] = r.Float64()
+			}
+			pts[i] = pt
+		}
+		for i := range ws {
+			ws[i] /= norm
+		}
+		db.Weights = append(db.Weights, ws)
+		db.Points = append(db.Points, pts)
+	}
+	return db
+}
+
+// flowEdge is one candidate flow assignment in the greedy EMD.
+type flowEdge struct {
+	i, j int
+	d    float64
+}
+
+// emdScratch holds per-task reusable buffers: Rank calls emdGreedy once
+// per database entry, and per-call allocation would dominate the run with
+// garbage-collector work at high core counts.
+type emdScratch struct {
+	edges  []flowEdge
+	r1, r2 []float64
+}
+
+// emdGreedy approximates the Earth Mover's Distance between two weighted
+// point sets with greedy flow assignment — the per-candidate cost of the
+// Ranking stage.
+func emdGreedy(s *emdScratch, w1 []float64, p1 [][]float64, w2 []float64, p2 [][]float64) float64 {
+	edges := s.edges[:0]
+	for i := range p1 {
+		for j := range p2 {
+			var d float64
+			a, b := p1[i], p2[j]
+			for k := range a {
+				diff := a[k] - b[k]
+				d += diff * diff
+			}
+			edges = append(edges, flowEdge{i, j, math.Sqrt(d)})
+		}
+	}
+	s.edges = edges
+	// Insertion sort: edge sets are tiny (≤ ~50) and a concrete sort
+	// avoids sort.Slice's reflection overhead in the hottest loop.
+	for i := 1; i < len(edges); i++ {
+		e := edges[i]
+		j := i - 1
+		for j >= 0 && edges[j].d > e.d {
+			edges[j+1] = edges[j]
+			j--
+		}
+		edges[j+1] = e
+	}
+	s.r1 = append(s.r1[:0], w1...)
+	s.r2 = append(s.r2[:0], w2...)
+	r1, r2 := s.r1, s.r2
+	var cost, flow float64
+	for _, e := range edges {
+		f := math.Min(r1[e.i], r2[e.j])
+		if f <= 0 {
+			continue
+		}
+		cost += f * e.d
+		flow += f
+		r1[e.i] -= f
+		r2[e.j] -= f
+	}
+	if flow == 0 {
+		return math.Inf(1)
+	}
+	return cost / flow
+}
+
+// Rank scores the query signature against every database entry and keeps
+// the best TopK — the dominant Ranking stage.
+func Rank(sig *Signature, db *DB, topK int) *Result {
+	res := &Result{ImgID: sig.Img.ID, Name: sig.Img.Name}
+	var scratch emdScratch
+	for e := range db.Weights {
+		d := emdGreedy(&scratch, sig.Weights, sig.Points, db.Weights[e], db.Points[e])
+		if len(res.Top) < topK {
+			res.Top = append(res.Top, Match{e, d})
+			if len(res.Top) == topK {
+				sort.Slice(res.Top, func(a, b int) bool { return res.Top[a].Dist < res.Top[b].Dist })
+			}
+			continue
+		}
+		if d < res.Top[topK-1].Dist {
+			res.Top[topK-1] = Match{e, d}
+			for i := topK - 1; i > 0 && res.Top[i].Dist < res.Top[i-1].Dist; i-- {
+				res.Top[i], res.Top[i-1] = res.Top[i-1], res.Top[i]
+			}
+		}
+	}
+	if len(res.Top) < topK {
+		sort.Slice(res.Top, func(a, b int) bool { return res.Top[a].Dist < res.Top[b].Dist })
+	}
+	return res
+}
+
+// FormatResult renders one query's output line — the (tiny) Output stage.
+func FormatResult(r *Result) string {
+	b := make([]byte, 0, 16+12*len(r.Top))
+	b = append(b, r.Name...)
+	b = append(b, ':')
+	for _, m := range r.Top {
+		b = append(b, ' ')
+		b = strconv.AppendInt(b, int64(m.DBIndex), 10)
+		b = append(b, '(')
+		b = strconv.AppendFloat(b, m.Dist, 'f', 4, 64)
+		b = append(b, ')')
+	}
+	b = append(b, '\n')
+	return string(b)
+}
+
+// Process runs the four middle stages on one image.
+func Process(img *Image, p Params, db *DB) *Result {
+	return Rank(Vectorize(Extract(Segment(img, p.Clusters)), p.VectIters), db, p.TopK)
+}

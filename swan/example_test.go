@@ -1,0 +1,105 @@
+package swan_test
+
+import (
+	"fmt"
+
+	"repro/swan"
+)
+
+// ExampleQueue demonstrates the paper's core guarantee: a consumer sees
+// values in serial program order even with parallel producers.
+func ExampleQueue() {
+	rt := swan.New(4)
+	rt.Run(func(f *swan.Frame) {
+		q := swan.NewQueue[int](f)
+		// Two producers spawned in program order; their values appear to
+		// the consumer in exactly that order.
+		f.Spawn(func(c *swan.Frame) {
+			q.Push(c, 1)
+			q.Push(c, 2)
+		}, swan.Push(q))
+		f.Spawn(func(c *swan.Frame) {
+			q.Push(c, 3)
+		}, swan.Push(q))
+		f.Spawn(func(c *swan.Frame) {
+			for !q.Empty(c) {
+				fmt.Println(q.Pop(c))
+			}
+		}, swan.Pop(q))
+		f.Sync()
+	})
+	// Output:
+	// 1
+	// 2
+	// 3
+}
+
+// ExampleVersioned demonstrates Figure 1's task-dataflow pattern:
+// renamed producers run in parallel, inoutdep consumers serialize.
+func ExampleVersioned() {
+	rt := swan.New(4)
+	rt.Run(func(f *swan.Frame) {
+		value := swan.NewVersioned(0)
+		sum := swan.NewVersioned(0)
+		for i := 1; i <= 3; i++ {
+			i := i
+			f.Spawn(func(c *swan.Frame) {
+				value.Set(c, i*10) // produce: renaming, never waits
+			}, swan.Out(value))
+			f.Spawn(func(c *swan.Frame) {
+				sum.Set(c, sum.Get(c)+value.Get(c)) // consume: in order
+			}, swan.In(value), swan.InOut(sum))
+		}
+		f.Sync()
+		fmt.Println(sum.Get(f))
+	})
+	// Output:
+	// 60
+}
+
+// ExampleTransformEach shows the ordered parallel-transform idiom used by
+// the paper's ferret and bzip2 implementations.
+func ExampleTransformEach() {
+	rt := swan.New(4)
+	rt.Run(func(f *swan.Frame) {
+		out := swan.NewQueue[int](f)
+		f.Spawn(func(mid *swan.Frame) {
+			in := swan.NewQueue[int](mid)
+			swan.Produce(mid, in, func(c *swan.Frame, push func(int)) {
+				for i := 1; i <= 5; i++ {
+					push(i)
+				}
+			})
+			// Squares are computed in parallel but delivered in order.
+			swan.TransformEach(mid, in, out, func(v int) int { return v * v })
+		}, swan.Push(out))
+		swan.Drain(f, out, func(v int) { fmt.Println(v) })
+		f.Sync()
+	})
+	// Output:
+	// 1
+	// 4
+	// 9
+	// 16
+	// 25
+}
+
+// ExampleQueue_selectiveSync is the paper's Figure 6: the owner waits for
+// its consumer child before inspecting what a later producer left behind.
+func ExampleQueue_selectiveSync() {
+	rt := swan.New(4)
+	rt.Run(func(f *swan.Frame) {
+		q := swan.NewQueue[int](f)
+		f.Spawn(func(c *swan.Frame) { q.Push(c, 1) }, swan.Push(q))
+		f.Spawn(func(c *swan.Frame) {
+			for !q.Empty(c) {
+				q.Pop(c) // drains everything visible to it
+			}
+		}, swan.Pop(q))
+		f.Spawn(func(c *swan.Frame) { q.Push(c, 2) }, swan.Push(q))
+		q.SyncPop(f) // selective sync (§5.5): wait for the consumer only
+		fmt.Println(q.Pop(f))
+	})
+	// Output:
+	// 2
+}

@@ -1,0 +1,113 @@
+// Package swan is the public API of this reproduction of "Deterministic
+// Scale-Free Pipeline Parallelism with Hyperqueues" (Vandierendonck,
+// Chronaki, Nikolopoulos; SC 2013). It bundles the Swan-like task runtime
+// (spawn/sync with dependence-aware scheduling), versioned objects
+// (indep/outdep/inoutdep task dataflow), and hyperqueues
+// (pushdep/popdep/pushpopdep deterministic queues).
+//
+// # Quickstart
+//
+// The paper's Figure 2 — a recursively parallel producer feeding one
+// consumer through a hyperqueue — looks like this:
+//
+//	rt := swan.New(runtime.NumCPU())
+//	rt.Run(func(f *swan.Frame) {
+//		q := swan.NewQueue[int](f)
+//		f.Spawn(func(c *swan.Frame) {
+//			var produce func(c *swan.Frame, lo, hi int)
+//			produce = func(c *swan.Frame, lo, hi int) {
+//				if hi-lo <= 10 {
+//					for n := lo; n < hi; n++ {
+//						q.Push(c, compute(n))
+//					}
+//					return
+//				}
+//				mid := (lo + hi) / 2
+//				c.Spawn(func(g *swan.Frame) { produce(g, lo, mid) }, swan.Push(q))
+//				c.Spawn(func(g *swan.Frame) { produce(g, mid, hi) }, swan.Push(q))
+//			}
+//			produce(c, 0, total)
+//		}, swan.Push(q))
+//		f.Spawn(func(c *swan.Frame) {
+//			for !q.Empty(c) {
+//				consume(q.Pop(c))
+//			}
+//		}, swan.Pop(q))
+//		f.Sync()
+//	})
+//
+// The program is scale-free — nothing in it mentions the worker count —
+// and deterministic: the consumer observes values in serial program
+// order regardless of scheduling.
+//
+// # Determinism
+//
+// Every program written against this package has a serial elision: erase
+// Spawn/Sync (run children inline) and the hyperqueue behaves as a plain
+// FIFO queue, the versioned objects as plain variables. The runtime
+// guarantees parallel executions are indistinguishable from the serial
+// elision as observed through queue pops and versioned-object reads.
+package swan
+
+import (
+	"repro/internal/core"
+	"repro/internal/dataflow"
+	"repro/internal/sched"
+)
+
+// Runtime schedules tasks over a fixed number of worker slots; the slot
+// count plays the role of the core count and is the only
+// machine-dependent parameter of a program.
+type Runtime = sched.Runtime
+
+// Frame is the runtime context of one task: the handle for spawning
+// children, syncing, and accessing queues and versioned objects.
+type Frame = sched.Frame
+
+// Dep is a dependence passed at spawn time: a queue access mode (Push,
+// Pop, PushPop) or a versioned-object access mode (In, Out, InOut).
+type Dep = sched.Dep
+
+// Queue is a hyperqueue of values of type T (paper §2–§4).
+type Queue[T any] = core.Queue[T]
+
+// Versioned is a dataflow variable of type T with automatic versioning
+// (renaming) to break artificial dependences.
+type Versioned[T any] = dataflow.Versioned[T]
+
+// New returns a runtime with the given number of worker slots.
+func New(workers int) *Runtime { return sched.New(workers) }
+
+// NewQueue creates a hyperqueue owned by the calling task's frame. The
+// owner holds both push and pop privileges, like the paper's top-level
+// task.
+func NewQueue[T any](f *Frame) *Queue[T] { return core.New[T](f) }
+
+// NewQueueWithCapacity creates a hyperqueue with a tuned segment length
+// (paper §5.1).
+func NewQueueWithCapacity[T any](f *Frame, segCap int) *Queue[T] {
+	return core.NewWithCapacity[T](f, segCap)
+}
+
+// Push grants the spawned task push-only access to q (pushdep).
+func Push[T any](q *Queue[T]) Dep { return core.Push(q) }
+
+// Pop grants the spawned task pop-only access to q (popdep).
+func Pop[T any](q *Queue[T]) Dep { return core.Pop(q) }
+
+// PushPop grants the spawned task both privileges (pushpopdep).
+func PushPop[T any](q *Queue[T]) Dep { return core.PushPop(q) }
+
+// NewVersioned returns a versioned variable holding initial.
+func NewVersioned[T any](initial T) *Versioned[T] { return dataflow.NewVersioned(initial) }
+
+// In grants the spawned task read access to v (indep).
+func In[T any](v *Versioned[T]) Dep { return dataflow.In(v) }
+
+// Out grants the spawned task write access to a fresh version of v
+// (outdep); renaming means the task never waits.
+func Out[T any](v *Versioned[T]) Dep { return dataflow.Out(v) }
+
+// InOut grants the spawned task read-write access to v (inoutdep),
+// serialized after the previous version's writer and readers.
+func InOut[T any](v *Versioned[T]) Dep { return dataflow.InOut(v) }

@@ -1,0 +1,113 @@
+package swan_test
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/swan"
+)
+
+// TestQuickstartPattern runs the package-doc example end to end.
+func TestQuickstartPattern(t *testing.T) {
+	const total = 200
+	var got []int
+	rt := swan.New(runtime.NumCPU())
+	rt.Run(func(f *swan.Frame) {
+		q := swan.NewQueue[int](f)
+		f.Spawn(func(c *swan.Frame) {
+			var produce func(c *swan.Frame, lo, hi int)
+			produce = func(c *swan.Frame, lo, hi int) {
+				if hi-lo <= 10 {
+					for n := lo; n < hi; n++ {
+						q.Push(c, n)
+					}
+					return
+				}
+				mid := (lo + hi) / 2
+				c.Spawn(func(g *swan.Frame) { produce(g, lo, mid) }, swan.Push(q))
+				c.Spawn(func(g *swan.Frame) { produce(g, mid, hi) }, swan.Push(q))
+			}
+			produce(c, 0, total)
+		}, swan.Push(q))
+		f.Spawn(func(c *swan.Frame) {
+			for !q.Empty(c) {
+				got = append(got, q.Pop(c))
+			}
+		}, swan.Pop(q))
+		f.Sync()
+	})
+	if len(got) != total {
+		t.Fatalf("consumed %d, want %d", len(got), total)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got[%d] = %d; determinism broken", i, v)
+		}
+	}
+}
+
+// TestMixedQueueAndObjectDeps combines both dependence kinds in one task,
+// as dedup's hyperqueue implementation does.
+func TestMixedQueueAndObjectDeps(t *testing.T) {
+	var total int
+	rt := swan.New(4)
+	rt.Run(func(f *swan.Frame) {
+		q := swan.NewQueue[int](f)
+		acc := swan.NewVersioned(0)
+		f.Spawn(func(c *swan.Frame) {
+			for i := 1; i <= 100; i++ {
+				q.Push(c, i)
+			}
+		}, swan.Push(q))
+		f.Spawn(func(c *swan.Frame) {
+			sum := acc.Get(c)
+			for !q.Empty(c) {
+				sum += q.Pop(c)
+			}
+			acc.Set(c, sum)
+		}, swan.Pop(q), swan.InOut(acc))
+		f.Sync()
+		total = acc.Get(f)
+	})
+	if total != 5050 {
+		t.Fatalf("sum = %d, want 5050", total)
+	}
+}
+
+// TestScaleFree runs the identical program at several worker counts and
+// requires identical results — the paper's scale-free property.
+func TestScaleFree(t *testing.T) {
+	runAt := func(workers int) []int {
+		var out []int
+		swan.New(workers).Run(func(f *swan.Frame) {
+			q := swan.NewQueueWithCapacity[int](f, 16)
+			for stage := 0; stage < 5; stage++ {
+				base := stage * 20
+				f.Spawn(func(c *swan.Frame) {
+					for i := 0; i < 20; i++ {
+						q.Push(c, base+i)
+					}
+				}, swan.Push(q))
+			}
+			f.Spawn(func(c *swan.Frame) {
+				for !q.Empty(c) {
+					out = append(out, q.Pop(c))
+				}
+			}, swan.Pop(q))
+			f.Sync()
+		})
+		return out
+	}
+	ref := runAt(1)
+	for _, w := range []int{2, 4, 8, 16} {
+		got := runAt(w)
+		if len(got) != len(ref) {
+			t.Fatalf("workers=%d consumed %d values, serial consumed %d", w, len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: got[%d]=%d, serial=%d", w, i, got[i], ref[i])
+			}
+		}
+	}
+}
