@@ -1,0 +1,32 @@
+# Local entry points mirroring .github/workflows/ci.yml.
+
+GO ?= go
+
+.PHONY: all build vet fmt-check test race bench-smoke ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+test:
+	$(GO) test ./...
+
+# The scheduler and queue packages must be race-clean.
+race:
+	$(GO) test -race -short ./internal/...
+
+# Compile-and-run every benchmark once so benchmark code cannot bit-rot.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+ci: build vet fmt-check test race bench-smoke

@@ -246,6 +246,92 @@ func BenchmarkAblationDequeVsChannelDispatch(b *testing.B) {
 	})
 }
 
+// --- Ablation: work-stealing scheduler vs goroutine-per-task baseline ----
+
+// runPipelineSpawnTree is the Figure 2 shape: a recursively parallel
+// producer tree feeding one consumer through a hyperqueue. It exercises
+// both dispatch (deque pushes, steals) and the blocking protocol (Sync,
+// pop waits).
+func runPipelineSpawnTree(rt *sched.Runtime, items int) {
+	rt.Run(func(f *sched.Frame) {
+		q := core.NewWithCapacity[int](f, 256)
+		f.Spawn(func(c *sched.Frame) {
+			var produce func(c *sched.Frame, lo, hi int)
+			produce = func(c *sched.Frame, lo, hi int) {
+				if hi-lo <= 64 {
+					for n := lo; n < hi; n++ {
+						q.Push(c, n)
+					}
+					return
+				}
+				mid := (lo + hi) / 2
+				c.Spawn(func(g *sched.Frame) { produce(g, lo, mid) }, core.Push(q))
+				c.Spawn(func(g *sched.Frame) { produce(g, mid, hi) }, core.Push(q))
+			}
+			produce(c, 0, items)
+		}, core.Push(q))
+		f.Spawn(func(c *sched.Frame) {
+			sum := 0
+			for !q.Empty(c) {
+				sum += q.Pop(c)
+			}
+			_ = sum
+		}, core.Pop(q))
+		f.Sync()
+	})
+}
+
+// runSpawnTree is a pure dep-free spawn tree: the maximal-stealing shape.
+func runSpawnTree(rt *sched.Runtime, depth int) {
+	var rec func(f *sched.Frame, d int)
+	rec = func(f *sched.Frame, d int) {
+		if d == 0 {
+			return
+		}
+		f.Spawn(func(c *sched.Frame) { rec(c, d-1) })
+		f.Spawn(func(c *sched.Frame) { rec(c, d-1) })
+		f.Sync()
+	}
+	rt.Run(func(f *sched.Frame) { rec(f, depth) })
+}
+
+// BenchmarkAblationSchedulerSubstrate is the ablation promised by
+// internal/deque: the Chase–Lev work-stealing runtime (PolicySteal)
+// against the seed's goroutine-per-task slot-semaphore baseline
+// (PolicyGoroutine), on a hyperqueue pipeline and on a pure spawn tree.
+// For the stealing runtime it also reports observed steals per op.
+func BenchmarkAblationSchedulerSubstrate(b *testing.B) {
+	shapes := []struct {
+		name string
+		run  func(rt *sched.Runtime)
+	}{
+		{"pipeline", func(rt *sched.Runtime) { runPipelineSpawnTree(rt, 1<<13) }},
+		{"spawntree", func(rt *sched.Runtime) { runSpawnTree(rt, 9) }},
+	}
+	workers := runtime.NumCPU()
+	if workers < 2 {
+		workers = 2 // keep thieves in play even on one-core machines
+	}
+	for _, policy := range []sched.SpawnPolicy{sched.PolicySteal, sched.PolicyGoroutine} {
+		for _, shape := range shapes {
+			b.Run(fmt.Sprintf("sched=%s/shape=%s", policy, shape.name), func(b *testing.B) {
+				rt := sched.NewWithPolicy(workers, policy)
+				before := rt.Stats()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					shape.run(rt)
+				}
+				b.StopTimer()
+				if policy == sched.PolicySteal {
+					after := rt.Stats()
+					b.ReportMetric(float64(after.Steals-before.Steals)/float64(b.N), "steals/op")
+					b.ReportMetric(float64(after.Spawns-before.Spawns)/float64(b.N), "spawns/op")
+				}
+			})
+		}
+	}
+}
+
 // --- Ablation: §5.4 loop split bounds serial memory ----------------------
 
 func BenchmarkAblationLoopSplit(b *testing.B) {

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	paperbench [-exp all|table1|table2|fig8|fig11|bzip2] [-scale N] [-cores N] [-reps N]
+//	paperbench [-exp all|table1|table2|fig8|fig11|bzip2] [-scale N] [-cores N] [-reps N] [-sched steal|goroutine]
 //
 // Scale 1 keeps each experiment in the seconds range; the paper-like
 // regime is -scale 4 or higher.
@@ -17,6 +17,7 @@ import (
 	"runtime"
 
 	"repro/internal/bench"
+	"repro/internal/sched"
 )
 
 func main() {
@@ -24,7 +25,18 @@ func main() {
 	scale := flag.Int("scale", 1, "workload scale factor")
 	cores := flag.Int("cores", runtime.NumCPU(), "maximum cores to sweep")
 	reps := flag.Int("reps", 2, "repetitions per configuration (best-of)")
+	schedPolicy := flag.String("sched", "steal", "scheduler substrate for the Swan runtimes: steal (work-stealing deques) or goroutine (goroutine-per-task baseline)")
 	flag.Parse()
+
+	switch *schedPolicy {
+	case "steal":
+		sched.SetDefaultPolicy(sched.PolicySteal)
+	case "goroutine":
+		sched.SetDefaultPolicy(sched.PolicyGoroutine)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -sched %q (want steal or goroutine)\n", *schedPolicy)
+		os.Exit(2)
+	}
 
 	cfg := bench.Config{MaxCores: *cores, Reps: *reps, Scale: *scale}
 	run := func(name string) {
@@ -47,7 +59,7 @@ func main() {
 			os.Exit(2)
 		}
 	}
-	fmt.Printf("# Hyperqueue reproduction — %d cores available, scale %d\n\n", runtime.NumCPU(), *scale)
+	fmt.Printf("# Hyperqueue reproduction — %d cores available, scale %d, scheduler %s\n\n", runtime.NumCPU(), *scale, sched.DefaultPolicy())
 	if *exp == "all" {
 		for _, e := range []string{"table1", "table2", "fig8", "fig11", "bzip2"} {
 			run(e)

@@ -77,6 +77,22 @@ func (d queueDep[T]) Wait(child *sched.Frame) {
 	q.mu.Unlock()
 }
 
+// Ready is the non-blocking probe of sched.ReadyDep: push-only tasks are
+// always ready, and a pop-privileged task is ready once its consumer
+// ticket has been served. popServed only advances, so readiness is
+// stable, as the contract requires.
+func (d queueDep[T]) Ready(child *sched.Frame) bool {
+	if d.mode&ModePop == 0 {
+		return true
+	}
+	q := d.q
+	q.mu.Lock()
+	cqv := q.viewsOf(child)
+	ok := cqv.parentQV.popServed == cqv.popTicket
+	q.mu.Unlock()
+	return ok
+}
+
 // Complete runs in the child after its body and implicit sync: the
 // child's views are reduced into its nearest live elder sibling or its
 // parent (§4.2, "Return from spawn"), it leaves the live-sibling chain,

@@ -290,7 +290,7 @@ func (q *Queue[T]) visibleProducerLive(cf *sched.Frame) bool {
 // acquireConsumer blocks until frame f holds the consumer role: all pop
 // tasks it has spawned so far on this queue have completed (§2.3 rule 3;
 // §5.5 explains that a frame whose queue view is away simply blocks).
-// The worker slot is released while waiting. Caller must not hold q.mu.
+// Execution capacity is released while waiting. Caller must not hold q.mu.
 func (q *Queue[T]) acquireConsumer(f *sched.Frame, qv *qviews[T]) {
 	q.mu.Lock()
 	if qv.popServed == qv.popTickets {
@@ -298,7 +298,7 @@ func (q *Queue[T]) acquireConsumer(f *sched.Frame, qv *qviews[T]) {
 		return
 	}
 	q.mu.Unlock()
-	f.Runtime().Block(func() {
+	f.Block(func() {
 		q.mu.Lock()
 		q.waiters++
 		for qv.popServed != qv.popTickets {
@@ -344,13 +344,13 @@ func (q *Queue[T]) Empty(f *sched.Frame) bool {
 	if q.reachableData() {
 		return false
 	}
-	// Spin briefly while holding the worker slot: in steady state the
+	// Spin briefly while holding execution capacity: in steady state the
 	// next value is microseconds away, and the consumer is typically the
 	// pipeline's serial bottleneck — parking it would put it at the back
-	// of the worker-slot queue behind every pending producer task. This
+	// of the capacity queue behind every pending producer task. This
 	// approximates the paper's choice to block the worker (§4.5) while
-	// still falling back to a slot-releasing wait, which keeps pathological
-	// programs deadlock-free.
+	// still falling back to a capacity-releasing wait, which keeps
+	// pathological programs deadlock-free.
 	for i := 0; i < emptySpins; i++ {
 		runtime.Gosched()
 		if q.reachableData() {
@@ -364,7 +364,7 @@ func (q *Queue[T]) Empty(f *sched.Frame) bool {
 		return !q.reachableData()
 	}
 	empty := false
-	f.Runtime().Block(func() {
+	f.Block(func() {
 		q.mu.Lock()
 		q.waiters++
 		for {

@@ -127,6 +127,24 @@ func (d dep[T]) Wait(child *sched.Frame) {
 	v.mu.Unlock()
 }
 
+// Ready is the non-blocking probe of sched.ReadyDep. Readiness is stable
+// as the contract requires: writerDone only flips to true, and a
+// superseded generation's reader count only decreases (Prepare binds new
+// readers to the current generation, never to a superseded one).
+func (d dep[T]) Ready(child *sched.Frame) bool {
+	v := d.v
+	b := child.Attachment(objKey[T]{v}).(*binding[T])
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	switch d.m {
+	case modeIn:
+		return !b.gen.hasWriter || b.gen.writerDone
+	case modeInOut:
+		return (!b.prev.hasWriter || b.prev.writerDone) && b.prev.readers == 0
+	}
+	return true // modeOut: renaming never waits
+}
+
 // Complete releases the child's claim on its version.
 func (d dep[T]) Complete(parent, child *sched.Frame) {
 	v := d.v
@@ -152,7 +170,7 @@ func (v *Versioned[T]) Get(f *sched.Frame) T {
 		return *b.gen.val
 	}
 	var out T
-	f.Runtime().Block(func() {
+	f.Block(func() {
 		v.mu.Lock()
 		g := v.cur
 		for g.hasWriter && !g.writerDone {
@@ -176,7 +194,7 @@ func (v *Versioned[T]) Set(f *sched.Frame, val T) {
 		*b.gen.val = val
 		return
 	}
-	f.Runtime().Block(func() {
+	f.Block(func() {
 		v.mu.Lock()
 		g := v.cur
 		for (g.hasWriter && !g.writerDone) || g.readers > 0 {

@@ -12,15 +12,25 @@
 //
 // The paper's Swan runtime uses Cilk-style work-first scheduling with
 // continuation stealing. Go cannot steal continuations, so this runtime
-// uses help-first spawning (the child task is handed to the scheduler and
-// the parent continues) with a pool of P worker slots. A task holds a slot
-// while it executes; every potentially-blocking runtime operation — Sync,
-// a queue Empty/Pop wait, a pop-serialization wait, a dataflow gate —
-// releases the slot for the duration of the wait, mirroring the paper's
-// choice to "block the worker" (§4.5) while keeping P runnable tasks
-// whenever P are ready. The hyperqueue view algebra (internal/core) is
-// order-robust and correct under both child-first and help-first
-// execution orders.
+// uses help-first spawning: a spawned child is pushed onto the bottom of
+// the spawning worker's Chase–Lev deque (internal/deque) and the parent
+// continues. A fixed pool of P workers pops locally in LIFO order and
+// steals FIFO from randomized victims when its own deque drains, which
+// preserves the locality and bounded-space properties of Cilk-style
+// schedulers. Capacity is bounded by P run tokens: a worker holds a token
+// only while executing task code, so every potentially-blocking runtime
+// operation — Sync, a queue Empty/Pop wait, a pop-serialization wait, a
+// dataflow gate — releases the token and wakes (or spawns) a compensating
+// worker for the duration of the wait, mirroring the paper's choice to
+// "block the worker" (§4.5) while keeping P runnable tasks whenever P are
+// ready. Workers park when the system has no ready work and exit once no
+// Run is active, so an idle Runtime holds no goroutines.
+//
+// The seed scheduler — one goroutine per task gated by a slot semaphore —
+// is retained as PolicyGoroutine so the ablation benchmarks can compare
+// the two substrates (see bench_test.go and cmd/paperbench -sched). The
+// hyperqueue view algebra (internal/core) is order-robust and correct
+// under both child-first and help-first execution orders.
 //
 // # Program order
 //
@@ -33,16 +43,68 @@
 package sched
 
 import (
+	"fmt"
+	"os"
 	"sync"
+	"sync/atomic"
 )
 
-// Runtime is a task scheduler with a fixed number of worker slots. The
-// number of slots plays the role of the number of cores in the paper's
+// SpawnPolicy selects the dispatch substrate of a Runtime.
+type SpawnPolicy int32
+
+const (
+	// PolicySteal dispatches tasks through per-worker Chase–Lev deques
+	// with randomized FIFO stealing. This is the default.
+	PolicySteal SpawnPolicy = iota
+	// PolicyGoroutine is the baseline substrate: one goroutine per task,
+	// gated by a slot semaphore. It exists for the scheduler ablation
+	// (stealing runtime vs. channel/semaphore baseline).
+	PolicyGoroutine
+)
+
+func (p SpawnPolicy) String() string {
+	if p == PolicyGoroutine {
+		return "goroutine"
+	}
+	return "steal"
+}
+
+// defaultPolicy is what New uses; it is initialized from the REPRO_SCHED
+// environment variable ("steal" or "goroutine") and may be overridden
+// with SetDefaultPolicy (cmd/paperbench does, for its -sched flag).
+var defaultPolicy atomic.Int32
+
+func init() {
+	switch v := os.Getenv("REPRO_SCHED"); v {
+	case "", "steal":
+	case "goroutine":
+		defaultPolicy.Store(int32(PolicyGoroutine))
+	default:
+		// A typo here would silently corrupt ablation results; be loud.
+		fmt.Fprintf(os.Stderr, "sched: ignoring unknown REPRO_SCHED=%q (want steal or goroutine); using steal\n", v)
+	}
+}
+
+// SetDefaultPolicy sets the substrate New gives future runtimes.
+func SetDefaultPolicy(p SpawnPolicy) { defaultPolicy.Store(int32(p)) }
+
+// DefaultPolicy reports the substrate New gives future runtimes.
+func DefaultPolicy() SpawnPolicy { return SpawnPolicy(defaultPolicy.Load()) }
+
+// Runtime is a task scheduler with a fixed number of workers. The number
+// of workers plays the role of the number of cores in the paper's
 // scale-free sweeps: a program written against Runtime does not change
-// when the slot count changes.
+// when the worker count changes.
 type Runtime struct {
-	slots   chan struct{}
 	workers int
+	policy  SpawnPolicy
+
+	// PolicyGoroutine state: the slot semaphore.
+	slots chan struct{}
+
+	// PolicySteal state: run tokens plus the worker pool (worker.go).
+	tokens chan struct{}
+	pool   pool
 
 	panicMu  sync.Mutex
 	panicVal any // first task panic, re-raised by Run
@@ -58,37 +120,54 @@ func (rt *Runtime) recordPanic(v any) {
 	rt.panicMu.Unlock()
 }
 
-// New returns a runtime with the given number of worker slots (minimum 1).
-func New(workers int) *Runtime {
+// New returns a runtime with the given number of workers (minimum 1),
+// using the default spawn policy.
+func New(workers int) *Runtime { return NewWithPolicy(workers, DefaultPolicy()) }
+
+// NewWithPolicy returns a runtime with the given number of workers
+// (minimum 1) on an explicitly chosen dispatch substrate.
+func NewWithPolicy(workers int, policy SpawnPolicy) *Runtime {
 	if workers < 1 {
 		workers = 1
 	}
-	rt := &Runtime{slots: make(chan struct{}, workers), workers: workers}
-	for i := 0; i < workers; i++ {
-		rt.slots <- struct{}{}
+	rt := &Runtime{workers: workers, policy: policy}
+	switch policy {
+	case PolicyGoroutine:
+		rt.slots = make(chan struct{}, workers)
+		for i := 0; i < workers; i++ {
+			rt.slots <- struct{}{}
+		}
+	default:
+		rt.tokens = make(chan struct{}, workers)
+		for i := 0; i < workers; i++ {
+			rt.tokens <- struct{}{}
+		}
+		rt.pool.init(rt)
 	}
 	return rt
 }
 
-// Workers reports the number of worker slots.
+// Workers reports the number of workers.
 func (rt *Runtime) Workers() int { return rt.workers }
+
+// Policy reports the dispatch substrate this runtime uses.
+func (rt *Runtime) Policy() SpawnPolicy { return rt.policy }
 
 func (rt *Runtime) acquire() { <-rt.slots }
 func (rt *Runtime) release() { rt.slots <- struct{}{} }
 
-// Block runs wait while temporarily giving up the calling task's worker
-// slot, so that a blocked task never starves runnable ones. It must only
-// be called from inside a running task.
-func (rt *Runtime) Block(wait func()) {
-	rt.release()
-	wait()
-	rt.acquire()
-}
+func (rt *Runtime) acquireToken() { <-rt.tokens }
+func (rt *Runtime) releaseToken() { rt.tokens <- struct{}{} }
 
 // Run executes fn as the root frame and returns when it and all of its
 // descendants have completed. It is the only entry point into the
-// runtime; nested Run calls on the same Runtime are allowed and share the
-// worker slots.
+// runtime. Run may be called repeatedly (and concurrently from distinct
+// goroutines, sharing the workers). As in the seed scheduler, a nested
+// Run from inside a running task needs a spare worker to make progress:
+// the calling task keeps its own capacity while it waits, so on a
+// one-worker runtime a nested Run deadlocks (under PolicySteal a
+// compensating worker is still woken, so nested Run works whenever
+// workers >= 2).
 //
 // A panic inside any task is captured so the rest of the task tree can
 // quiesce (dependences are still released — values a producer pushed
@@ -96,17 +175,30 @@ func (rt *Runtime) Block(wait func()) {
 // and the first such panic is re-raised by Run.
 func (rt *Runtime) Run(fn func(*Frame)) {
 	root := newFrame(rt, nil)
-	rt.acquire()
-	func() {
-		defer func() {
-			if r := recover(); r != nil {
-				rt.recordPanic(r)
-			}
+	if rt.policy == PolicyGoroutine {
+		rt.acquire()
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					rt.recordPanic(r)
+				}
+			}()
+			fn(root)
 		}()
-		fn(root)
-	}()
-	root.Sync()
-	rt.release()
+		root.Sync()
+		rt.release()
+	} else {
+		done := make(chan struct{})
+		rt.pool.runBegin()
+		rt.pool.inject(&task{frame: root, body: fn, after: func(*Frame) { close(done) }})
+		// Wait as a blocked context: if the caller is itself a task (a
+		// nested Run), compensation keeps the pool making progress; for
+		// a plain external caller the dip in navail is harmless.
+		rt.pool.blockBegin()
+		<-done
+		rt.pool.blockEnd()
+		rt.pool.runEnd()
+	}
 	rt.panicMu.Lock()
 	v := rt.panicVal
 	rt.panicVal = nil
@@ -117,15 +209,22 @@ func (rt *Runtime) Run(fn func(*Frame)) {
 }
 
 // Frame is one node of the spawn tree: the runtime context of a single
-// task. A Frame's methods (Spawn, Call, Sync, attachments) must be called
-// only from the task goroutine that owns the frame; Dep implementations
-// may additionally touch a frame through their own synchronization (the
-// hyperqueue does so under its per-queue mutex).
+// task. A Frame's methods (Spawn, Call, Sync, Block, attachments) must be
+// called only from the task goroutine that owns the frame; Dep
+// implementations may additionally touch a frame through their own
+// synchronization (the hyperqueue does so under its per-queue mutex).
 type Frame struct {
 	rt     *Runtime
 	parent *Frame
 	label  []int32
 	nspawn int32
+
+	// worker is the worker currently executing this frame's task, set by
+	// the stealing substrate for the duration of the task. inBlock marks
+	// that the frame is inside a Block region (its token is released).
+	// Both are touched only by the frame's own goroutine.
+	worker  *worker
+	inBlock bool
 
 	mu        sync.Mutex
 	cond      *sync.Cond
@@ -179,6 +278,35 @@ func (f *Frame) IsAncestorOf(g *Frame) bool {
 	return true
 }
 
+// Block runs wait while temporarily giving up the calling task's
+// execution capacity, so that a blocked task never starves runnable
+// ones. Under PolicySteal it releases the task's run token and ensures a
+// compensating worker can drain the deques; under PolicyGoroutine it
+// releases the slot semaphore. It must only be called from inside a
+// running task, on that task's own frame.
+func (f *Frame) Block(wait func()) {
+	rt := f.rt
+	if rt.policy == PolicyGoroutine {
+		rt.release()
+		wait()
+		rt.acquire()
+		return
+	}
+	if f.inBlock || f.worker == nil {
+		// Re-entrant block (e.g. a queue wait inside a dep gate): the
+		// token is already released.
+		wait()
+		return
+	}
+	f.inBlock = true
+	rt.releaseToken()
+	rt.pool.blockBegin()
+	wait()
+	rt.pool.blockEnd()
+	rt.acquireToken()
+	f.inBlock = false
+}
+
 // Dep is a dependence declared at spawn time. The runtime drives each dep
 // through three phases:
 //
@@ -186,16 +314,28 @@ func (f *Frame) IsAncestorOf(g *Frame) bool {
 //     program order, before the child may run. This is where access modes
 //     register themselves (issue tickets, hand over views, join FIFO
 //     queues).
-//   - Wait is called in the child's goroutine before the child acquires a
-//     worker slot; it blocks until the dependence allows the child to
-//     start. Blocking here does not consume a slot.
-//   - Complete is called in the child's goroutine after the child's body
+//   - Wait is called in the child's context before the child's body runs;
+//     it blocks until the dependence allows the child to start. Blocking
+//     here does not consume execution capacity: the stealing substrate
+//     wraps gated Waits in a Block region, and the goroutine substrate
+//     runs Wait before the child acquires its slot.
+//   - Complete is called in the child's context after the child's body
 //     and implicit sync have finished, and before the parent's Sync can
 //     observe the child as done.
 type Dep interface {
 	Prepare(parent, child *Frame)
 	Wait(child *Frame)
 	Complete(parent, child *Frame)
+}
+
+// ReadyDep is an optional extension of Dep: a non-blocking probe that
+// reports whether Wait would return without blocking. Once a dep reports
+// ready it must stay ready (the runtime may run Wait outside a Block
+// region after a true probe). Deps that do not implement ReadyDep are
+// conservatively treated as gated.
+type ReadyDep interface {
+	Dep
+	Ready(child *Frame) bool
 }
 
 // Spawn creates a child task executing fn, gated by deps. It corresponds
@@ -228,54 +368,112 @@ func (f *Frame) spawn(fn, after func(*Frame), deps []Dep) {
 		d.Prepare(f, c)
 	}
 	prepared = true
-	go func() {
-		for _, d := range deps {
-			d.Wait(c)
-		}
-		f.rt.acquire()
-		func() {
-			defer func() {
-				if r := recover(); r != nil {
-					f.rt.recordPanic(r)
-				}
-			}()
-			fn(c)
+	t := &task{frame: c, body: fn, deps: deps, after: after}
+	if f.rt.policy == PolicyGoroutine {
+		go f.rt.runTaskGoroutine(t)
+		return
+	}
+	if w := f.worker; w != nil {
+		w.dq.Push(t)
+	} else {
+		// Spawn from a frame not currently bound to a worker (defensive;
+		// the Frame contract makes this unreachable from user code).
+		f.rt.pool.pushGlobal(t)
+	}
+	f.rt.pool.stats.Spawns.Add(1)
+	f.rt.pool.ensureWorker()
+}
+
+// runTaskGoroutine is the PolicyGoroutine execution path: the seed
+// scheduler's goroutine-per-task protocol, kept as the ablation baseline.
+func (rt *Runtime) runTaskGoroutine(t *task) {
+	c := t.frame
+	for _, d := range t.deps {
+		d.Wait(c)
+	}
+	rt.acquire()
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				rt.recordPanic(r)
+			}
 		}()
-		c.Sync()
-		f.rt.release()
-		for _, d := range deps {
-			d.Complete(f, c)
-		}
-		if after != nil {
-			after(c)
-		}
-		f.mu.Lock()
-		f.live--
-		f.cond.Broadcast()
-		f.mu.Unlock()
+		t.body(c)
 	}()
+	c.Sync()
+	rt.release()
+	t.finish()
+}
+
+// helpLocal is the help-first counterpart of Cilk's work-first sync: a
+// frame about to wait runs tasks popped LIFO from its own worker's deque
+// until quit reports the wait is satisfied or the deque drains. Every
+// task in the local deque was spawned by a frame on this goroutine's
+// execution stack, so running it inline preserves strictness: it can
+// only depend on work that is completed, stealable, or released through
+// its own Block compensation — never on the buried frames above it.
+func (f *Frame) helpLocal(quit func() bool) {
+	w := f.worker
+	if w == nil || f.inBlock {
+		return
+	}
+	for !quit() {
+		t, ok := w.dq.Pop()
+		if !ok {
+			return
+		}
+		f.rt.pool.runTask(w, t)
+	}
 }
 
 // Call runs fn as a child frame and waits for it to complete, including
 // its dependence completions. The paper treats calls like spawns for
 // hyperqueue purposes (§4.2, "Call and return from call with push
 // privileges"); a call simply foregoes concurrency with the continuation.
+// Under PolicySteal the child is usually still at the bottom of the
+// caller's deque and runs inline via helpLocal.
 func (f *Frame) Call(fn func(*Frame), deps ...Dep) {
 	done := make(chan struct{})
 	f.spawn(fn, func(*Frame) { close(done) }, deps)
-	f.rt.Block(func() { <-done })
+	if f.rt.policy != PolicyGoroutine {
+		closed := func() bool {
+			select {
+			case <-done:
+				return true
+			default:
+				return false
+			}
+		}
+		f.helpLocal(closed)
+		if closed() {
+			return
+		}
+	}
+	f.Block(func() { <-done })
 }
 
 // Sync blocks until all children spawned so far by this frame have
-// completed, releasing the worker slot while waiting. After the children
-// are done it runs the frame's sync hooks (the hyperqueue uses a hook to
-// fold its children view into the user view, §4.2 "Sync").
+// completed, releasing the frame's execution capacity while waiting.
+// After the children are done it runs the frame's sync hooks (the
+// hyperqueue uses a hook to fold its children view into the user view,
+// §4.2 "Sync").
 func (f *Frame) Sync() {
+	quiet := func() bool {
+		f.mu.Lock()
+		q := f.live == 0
+		f.mu.Unlock()
+		return q
+	}
+	if f.rt.policy != PolicyGoroutine && !quiet() {
+		// Help first: run our own pending children (and their descendants)
+		// off the local deque instead of parking immediately.
+		f.helpLocal(quiet)
+	}
 	f.mu.Lock()
 	pending := f.live != 0
 	f.mu.Unlock()
 	if pending {
-		f.rt.Block(func() {
+		f.Block(func() {
 			f.mu.Lock()
 			for f.live != 0 {
 				f.cond.Wait()
@@ -301,7 +499,7 @@ func (f *Frame) AddSyncHook(fn func()) {
 }
 
 // Parallel reports whether the program is executing with more than one
-// worker slot — the runtime check of §5.3 ("Selectively Enabling
+// worker — the runtime check of §5.3 ("Selectively Enabling
 // Pipelining", Cilk's SYNCHED): programs may select a sequential
 // implementation when parallel execution is impossible, e.g. to bound
 // queue growth. As the paper warns, use with care: branching on it can

@@ -102,8 +102,8 @@ func TestBlockReleasesSlot(t *testing.T) {
 	var order []string
 	var mu sync.Mutex
 	rt.Run(func(f *Frame) {
-		f.Spawn(func(*Frame) {
-			rt.Block(func() { <-unblock })
+		f.Spawn(func(c *Frame) {
+			c.Block(func() { <-unblock })
 			mu.Lock()
 			order = append(order, "blocked-task")
 			mu.Unlock()

@@ -1,0 +1,367 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/deque"
+)
+
+// task is one schedulable unit: a frame, its body, its spawn-time deps,
+// and an optional completion callback (Call and Run use it).
+type task struct {
+	frame *Frame
+	body  func(*Frame)
+	deps  []Dep
+	after func(*Frame)
+}
+
+// finish runs the completion protocol shared by both substrates: dep
+// Complete calls in the child's context, the after callback, and the
+// parent's live-child accounting.
+func (t *task) finish() {
+	c := t.frame
+	for _, d := range t.deps {
+		d.Complete(c.parent, c)
+	}
+	if t.after != nil {
+		t.after(c)
+	}
+	if p := c.parent; p != nil {
+		p.mu.Lock()
+		p.live--
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	}
+}
+
+// Stats is a snapshot of scheduler counters (PolicySteal only; the
+// goroutine substrate reports zeros).
+type Stats struct {
+	Spawns         uint64 // tasks pushed onto deques
+	Steals         uint64 // successful FIFO steals from a victim deque
+	Parks          uint64 // times a worker went to sleep for lack of work
+	Blocks         uint64 // Block regions entered (capacity released)
+	WorkersStarted uint64 // worker goroutines ever started
+}
+
+// Stats reports a snapshot of the runtime's scheduler counters.
+func (rt *Runtime) Stats() Stats {
+	if rt.policy == PolicyGoroutine {
+		return Stats{}
+	}
+	p := &rt.pool
+	return Stats{
+		Spawns:         p.stats.Spawns.Load(),
+		Steals:         p.stats.Steals.Load(),
+		Parks:          p.stats.Parks.Load(),
+		Blocks:         p.stats.Blocks.Load(),
+		WorkersStarted: p.stats.WorkersStarted.Load(),
+	}
+}
+
+type statCounters struct {
+	Spawns         atomic.Uint64
+	Steals         atomic.Uint64
+	Parks          atomic.Uint64
+	Blocks         atomic.Uint64
+	WorkersStarted atomic.Uint64
+}
+
+// pool is the PolicySteal worker pool. Workers are started on demand,
+// park when the system has no ready work, and exit once no Run is active,
+// so an idle Runtime holds no goroutines.
+//
+// Capacity accounting: navail counts worker goroutines able to make
+// progress on new work — alive minus parked minus blocked-in-task. The
+// scheduler's liveness invariant is that whenever ready work exists and
+// navail < workers, ensureWorker wakes or starts a worker; a worker about
+// to park re-checks for work after decrementing navail, which (with Go's
+// sequentially consistent atomics) closes the race against a producer
+// that observed the worker as still available.
+type pool struct {
+	rt *Runtime
+
+	mu         sync.Mutex
+	cond       *sync.Cond // parked workers wait here
+	alive      int        // worker goroutines started and not exited
+	parked     int        // workers asleep in park
+	wakeups    int        // pending wake permits (level-triggered signal)
+	blocked    int        // tasks inside a Block region
+	activeRuns int        // Run calls in flight; workers exit at zero
+	global     []*task    // injection queue (root tasks, unbound spawns)
+
+	navail  atomic.Int32 // alive - parked - blocked (see above)
+	victims atomic.Pointer[[]*worker]
+	seed    atomic.Uint64
+	stats   statCounters
+}
+
+func (p *pool) init(rt *Runtime) {
+	p.rt = rt
+	p.cond = sync.NewCond(&p.mu)
+	v := []*worker{}
+	p.victims.Store(&v)
+}
+
+func (p *pool) runBegin() {
+	p.mu.Lock()
+	p.activeRuns++
+	p.mu.Unlock()
+}
+
+func (p *pool) runEnd() {
+	p.mu.Lock()
+	p.activeRuns--
+	if p.activeRuns == 0 {
+		p.cond.Broadcast() // parked workers re-check and exit
+	}
+	p.mu.Unlock()
+}
+
+func (p *pool) inject(t *task) {
+	p.pushGlobal(t)
+	p.ensureWorker()
+}
+
+func (p *pool) pushGlobal(t *task) {
+	p.mu.Lock()
+	p.global = append(p.global, t)
+	p.mu.Unlock()
+}
+
+func (p *pool) popGlobal() *task {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.global) == 0 {
+		return nil
+	}
+	t := p.global[0]
+	p.global = p.global[1:]
+	return t
+}
+
+// ensureWorker makes sure that, if execution capacity is undersubscribed
+// (navail < workers), a worker is woken or started to pick up work. It is
+// called after every deque push, global injection, and Block entry. The
+// fast path is a single atomic load.
+func (p *pool) ensureWorker() {
+	if int(p.navail.Load()) >= p.rt.workers {
+		return
+	}
+	p.mu.Lock()
+	// Pending wakeups are workers already on their way back.
+	if int(p.navail.Load())+p.wakeups >= p.rt.workers {
+		p.mu.Unlock()
+		return
+	}
+	if p.parked > p.wakeups {
+		p.wakeups++
+		p.cond.Signal()
+	} else {
+		p.startWorkerLocked()
+	}
+	p.mu.Unlock()
+}
+
+func (p *pool) startWorkerLocked() {
+	w := &worker{p: p, dq: deque.New[*task](64), rnd: p.seed.Add(0x9e3779b97f4a7c15) | 1}
+	p.alive++
+	p.navail.Add(1)
+	p.stats.WorkersStarted.Add(1)
+	old := *p.victims.Load()
+	next := make([]*worker, len(old)+1)
+	copy(next, old)
+	next[len(old)] = w
+	p.victims.Store(&next)
+	go p.loop(w)
+}
+
+func (p *pool) exitLocked(w *worker) {
+	p.alive--
+	p.navail.Add(-1)
+	old := *p.victims.Load()
+	next := make([]*worker, 0, len(old)-1)
+	for _, v := range old {
+		if v != w {
+			next = append(next, v)
+		}
+	}
+	p.victims.Store(&next)
+}
+
+// blockBegin/blockEnd bracket a Block region: the blocked task's worker
+// goroutine is buried under the wait, so capacity drops and a
+// compensating worker is woken or started. The task's own deque stays
+// registered as a steal victim throughout, so work it spawned earlier
+// remains reachable.
+func (p *pool) blockBegin() {
+	p.mu.Lock()
+	p.blocked++
+	p.navail.Add(-1)
+	p.mu.Unlock()
+	p.stats.Blocks.Add(1)
+	p.ensureWorker()
+}
+
+func (p *pool) blockEnd() {
+	p.mu.Lock()
+	p.blocked--
+	p.navail.Add(1)
+	p.mu.Unlock()
+}
+
+func (p *pool) hasWorkLocked() bool {
+	if len(p.global) > 0 {
+		return true
+	}
+	for _, v := range *p.victims.Load() {
+		if v.dq.Len() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// park puts a worker to sleep until new work may exist. It returns false
+// when the worker should exit (no Run active). The navail decrement
+// happens before the last-chance work re-check: a producer either
+// observes the decremented navail (and wakes someone via ensureWorker) or
+// pushed before our re-check (and we see the work) — either way no work
+// is stranded.
+func (p *pool) park(w *worker) bool {
+	p.mu.Lock()
+	if p.activeRuns == 0 {
+		p.exitLocked(w)
+		p.mu.Unlock()
+		return false
+	}
+	p.parked++
+	p.navail.Add(-1)
+	if p.hasWorkLocked() {
+		p.parked--
+		p.navail.Add(1)
+		p.mu.Unlock()
+		return true
+	}
+	p.stats.Parks.Add(1)
+	for p.wakeups == 0 {
+		if p.activeRuns == 0 {
+			p.parked--
+			p.navail.Add(1)
+			p.exitLocked(w)
+			p.mu.Unlock()
+			return false
+		}
+		p.cond.Wait()
+	}
+	p.wakeups--
+	p.parked--
+	p.navail.Add(1)
+	p.mu.Unlock()
+	return true
+}
+
+// worker owns one Chase–Lev deque: it pushes and pops at the bottom
+// (LIFO) and other workers steal from the top (FIFO), which gives thieves
+// the oldest — typically largest — subtree, as in Cilk.
+type worker struct {
+	p   *pool
+	dq  *deque.D[*task]
+	rnd uint64
+}
+
+func (w *worker) rand() uint64 {
+	x := w.rnd
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	w.rnd = x
+	return x
+}
+
+// find returns the next task: local LIFO pop, then the global injection
+// queue, then one randomized FIFO steal sweep over the victim deques.
+func (w *worker) find() *task {
+	if t, ok := w.dq.Pop(); ok {
+		return t
+	}
+	if t := w.p.popGlobal(); t != nil {
+		return t
+	}
+	victims := *w.p.victims.Load()
+	n := len(victims)
+	if n == 0 {
+		return nil
+	}
+	off := int(w.rand() % uint64(n))
+	for i := 0; i < n; i++ {
+		v := victims[(off+i)%n]
+		if v == w {
+			continue
+		}
+		if t, ok := v.dq.Steal(); ok {
+			w.p.stats.Steals.Add(1)
+			return t
+		}
+	}
+	return nil
+}
+
+func (p *pool) loop(w *worker) {
+	for {
+		t := w.find()
+		if t == nil {
+			if !p.park(w) {
+				return
+			}
+			continue
+		}
+		p.rt.acquireToken()
+		p.runTask(w, t)
+		p.rt.releaseToken()
+	}
+}
+
+// runTask executes one task to completion on worker w: dep gates, body,
+// implicit sync, dep completions, parent notification. The caller holds a
+// run token; any blocking inside (gated deps, Sync, queue waits) releases
+// it through Frame.Block.
+func (p *pool) runTask(w *worker, t *task) {
+	c := t.frame
+	c.worker = w
+	if len(t.deps) > 0 {
+		ready := true
+		for _, d := range t.deps {
+			rd, ok := d.(ReadyDep)
+			if !ok || !rd.Ready(c) {
+				ready = false
+				break
+			}
+		}
+		if ready {
+			// All gates are open (and, per the ReadyDep contract, stay
+			// open): run the Wait protocol without giving up the token.
+			for _, d := range t.deps {
+				d.Wait(c)
+			}
+		} else {
+			c.Block(func() {
+				for _, d := range t.deps {
+					d.Wait(c)
+				}
+			})
+		}
+	}
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				p.rt.recordPanic(r)
+			}
+		}()
+		t.body(c)
+	}()
+	c.Sync()
+	t.finish()
+	c.worker = nil
+}
