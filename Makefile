@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test race bench-smoke ci
+.PHONY: all build vet fmt-check test race bench-smoke quickcheck ci
 
 all: build
 
@@ -29,4 +29,12 @@ race:
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
-ci: build vet fmt-check test race bench-smoke
+# Serializability verifier: random programs against the serial elision,
+# under both scheduling substrates, plus the hyperqueue regression tests
+# under the race detector.
+quickcheck:
+	$(GO) run ./cmd/quickcheck -n 200
+	REPRO_SCHED=goroutine $(GO) run ./cmd/quickcheck -n 200
+	$(GO) test -race -count=3 -run 'Regression' ./internal/core
+
+ci: build vet fmt-check test race bench-smoke quickcheck

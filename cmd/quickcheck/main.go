@@ -3,11 +3,18 @@
 // push, pop, drain and delegate privileges, computes the serial-elision
 // outcome with a trivial interpreter, executes the same program on the
 // real runtime at several worker counts and segment sizes, and compares.
+// The program generator and executor live in internal/qcheck, shared
+// with the internal/core regression tests, so any seed reported here can
+// be replayed there.
 //
 // Usage:
 //
-//	quickcheck [-n 200] [-seed 1] [-v]
+//	quickcheck [-n 200] [-seed 1] [-workers N] [-v]
 //
+// Each failing program is reported once, with every failing
+// (workers, segcap) configuration aggregated on a single FAIL line; use
+// -workers to pin the worker count for a targeted reproduction. The
+// scheduling substrate follows REPRO_SCHED ("steal" or "goroutine").
 // Exit status 0 means every program behaved exactly like its serial
 // elision.
 package main
@@ -16,174 +23,67 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"reflect"
 	"runtime"
-	"sync"
+	"strings"
 
-	"repro/internal/rng"
-	"repro/swan"
+	"repro/internal/qcheck"
 )
-
-const (
-	actPush = iota
-	actSpawn
-	actPopN
-	actDrain
-)
-
-type action struct {
-	kind  int
-	val   int
-	n     int
-	child *taskDef
-}
-
-type taskDef struct {
-	id   int
-	mode uint8 // 1=push, 2=pop, 3=both
-	acts []action
-}
-
-type gen struct {
-	r       *rng.RNG
-	nextID  int
-	nextVal int
-	oracle  map[int][]int
-	serialQ []int
-}
-
-func (g *gen) gen(mode uint8, depth int) *taskDef {
-	td := &taskDef{id: g.nextID, mode: mode}
-	g.nextID++
-	for i, n := 0, 2+g.r.Intn(5); i < n; i++ {
-		switch g.r.Intn(4) {
-		case 0:
-			if mode&1 == 0 {
-				continue
-			}
-			for j, k := 0, 1+g.r.Intn(4); j < k; j++ {
-				td.acts = append(td.acts, action{kind: actPush, val: g.nextVal})
-				g.serialQ = append(g.serialQ, g.nextVal)
-				g.nextVal++
-			}
-		case 1:
-			if depth == 0 {
-				continue
-			}
-			cm := mode
-			if mode == 3 {
-				cm = []uint8{1, 2, 3}[g.r.Intn(3)]
-			}
-			td.acts = append(td.acts, action{kind: actSpawn, child: g.gen(cm, depth-1)})
-		case 2:
-			if mode&2 == 0 || len(g.serialQ) == 0 {
-				continue
-			}
-			n := 1 + g.r.Intn(len(g.serialQ))
-			td.acts = append(td.acts, action{kind: actPopN, n: n})
-			g.oracle[td.id] = append(g.oracle[td.id], g.serialQ[:n]...)
-			g.serialQ = g.serialQ[n:]
-		case 3:
-			if mode&2 == 0 {
-				continue
-			}
-			td.acts = append(td.acts, action{kind: actDrain})
-			if len(g.serialQ) > 0 {
-				g.oracle[td.id] = append(g.oracle[td.id], g.serialQ...)
-				g.serialQ = nil
-			}
-		}
-	}
-	return td
-}
-
-func execute(workers, segCap int, root *taskDef) map[int][]int {
-	consumed := make(map[int][]int)
-	var mu sync.Mutex
-	swan.New(workers).Run(func(f *swan.Frame) {
-		q := swan.NewQueueWithCapacity[int](f, segCap)
-		var exec func(f *swan.Frame, td *taskDef)
-		exec = func(f *swan.Frame, td *taskDef) {
-			for _, a := range td.acts {
-				switch a.kind {
-				case actPush:
-					q.Push(f, a.val)
-				case actSpawn:
-					child := a.child
-					var dep swan.Dep
-					switch child.mode {
-					case 1:
-						dep = swan.Push(q)
-					case 2:
-						dep = swan.Pop(q)
-					default:
-						dep = swan.PushPop(q)
-					}
-					f.Spawn(func(c *swan.Frame) { exec(c, child) }, dep)
-				case actPopN:
-					for j := 0; j < a.n; j++ {
-						v := q.Pop(f)
-						mu.Lock()
-						consumed[td.id] = append(consumed[td.id], v)
-						mu.Unlock()
-					}
-				case actDrain:
-					for !q.Empty(f) {
-						v := q.Pop(f)
-						mu.Lock()
-						consumed[td.id] = append(consumed[td.id], v)
-						mu.Unlock()
-					}
-				}
-			}
-		}
-		exec(f, root)
-	})
-	return consumed
-}
 
 func main() {
 	n := flag.Int("n", 200, "number of random programs")
 	seed := flag.Uint64("seed", 1, "base seed")
+	workers := flag.Int("workers", 0, "worker count to test (0 = sweep 1, 2 and NumCPU)")
 	verbose := flag.Bool("v", false, "log each program")
 	flag.Parse()
 
 	workerSet := []int{1, 2, runtime.NumCPU()}
+	if *workers > 0 {
+		workerSet = []int{*workers}
+	}
+	workerSet = dedup(workerSet)
 	segSet := []int{1, 7, 256}
-	failures := 0
+	policy := qcheck.DefaultPolicy()
+
+	failedPrograms := 0
 	for i := 0; i < *n; i++ {
-		g := &gen{r: rng.New(*seed + uint64(i)), oracle: make(map[int][]int)}
-		root := g.gen(3, 4)
+		p := qcheck.Generate(*seed + uint64(i))
+		var badConfigs []string
+		var firstGot map[int][]int
 		for _, w := range workerSet {
 			for _, s := range segSet {
-				got := execute(w, s, root)
-				if !equal(got, g.oracle) {
-					failures++
-					fmt.Printf("FAIL seed=%d workers=%d segcap=%d\n  got:    %v\n  oracle: %v\n",
-						*seed+uint64(i), w, s, got, g.oracle)
+				got, ok := p.Check(w, s, policy)
+				if !ok {
+					badConfigs = append(badConfigs, fmt.Sprintf("workers=%d segcap=%d", w, s))
+					if firstGot == nil {
+						firstGot = got
+					}
 				}
 			}
 		}
-		if *verbose {
-			fmt.Printf("program %3d: %d tasks, %d values — ok\n", i, g.nextID, g.nextVal)
+		if len(badConfigs) > 0 {
+			failedPrograms++
+			fmt.Printf("FAIL seed=%d (%s)\n  got:    %v\n  oracle: %v\n",
+				p.Seed, strings.Join(badConfigs, ", "), firstGot, p.Oracle)
+		} else if *verbose {
+			fmt.Printf("program %3d: %d tasks, %d values — ok\n", i, p.Tasks, p.Values)
 		}
 	}
-	if failures > 0 {
-		fmt.Printf("%d FAILURES out of %d programs\n", failures, *n)
+	if failedPrograms > 0 {
+		fmt.Printf("%d of %d programs FAILED (sched=%s)\n", failedPrograms, *n, policy)
 		os.Exit(1)
 	}
-	fmt.Printf("quickcheck: %d random programs × %d workers × %d segment sizes — all match the serial elision ✓\n",
-		*n, len(workerSet), len(segSet))
+	fmt.Printf("quickcheck: %d random programs × %d workers × %d segment sizes (sched=%s) — all match the serial elision ✓\n",
+		*n, len(workerSet), len(segSet), policy)
 }
 
-func equal(a, b map[int][]int) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for k, v := range a {
-		if !reflect.DeepEqual(v, b[k]) {
-			return false
+func dedup(xs []int) []int {
+	seen := map[int]bool{}
+	out := xs[:0]
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
 		}
 	}
-	return true
+	return out
 }

@@ -123,5 +123,10 @@ func (d queueDep[T]) Complete(parent, child *sched.Frame) {
 	if d.mode&ModePush != 0 {
 		delete(q.producers, child)
 	}
+	// Wake ticket waiters and consumers blocked in Empty/Pop: a retiring
+	// producer may have been the last one ordered before the consumer, in
+	// which case the consumer's next visibility check folds the views
+	// deposited above into the queue view (linkFrontier) and either finds
+	// the child's values or proves permanent emptiness.
 	q.cond.Broadcast()
 }

@@ -2,13 +2,72 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/sched"
 )
 
 // This file implements a checker for the hyperqueue invariants of §4.4.
 // It is not used on any hot path; tests call CheckInvariants at quiescent
-// points (under q.mu) to validate the view algebra's global state.
+// points (under q.mu) to validate the view algebra's global state. In
+// addition, with SetDebugChecks enabled, every permanent-emptiness
+// decision asserts that no valid view ordered before the consumer still
+// holds data (assertNoHiddenDataLocked) — the serializability property
+// that quickcheck seed 139 showed can silently break when deposits are
+// not folded into the queue view.
+
+// debugChecks gates the runtime self-checking assertions (currently the
+// no-hidden-data-on-Empty check). Off by default: the checks walk the
+// live view tree on every permanent-emptiness decision, which is cheap
+// but not free. The core test suite, the regression tests and
+// cmd/quickcheck enable it.
+var debugChecks atomic.Bool
+
+// SetDebugChecks enables or disables the hyperqueue's runtime
+// self-checking assertions for all queues in the process. A violated
+// assertion panics, which the runtime surfaces through Run.
+func SetDebugChecks(on bool) { debugChecks.Store(on) }
+
+// checkNoHiddenDataLocked validates the contract of a true Empty
+// answer: at the moment permanent emptiness is declared for consumer qv,
+// no valid view ordered before the consumer's position may hold data.
+// After linkFrontier the children views along the consumer's spawn path
+// and the consumer's own user view must be empty, and no live
+// view-holding task may precede the consumer at all (pop tasks have
+// completed by consumer serialization; push tasks would have made
+// visibleProducerLive true). Caller holds q.mu; the violation (empty
+// string if none) is returned rather than panicked so the caller can
+// raise it after releasing the lock — a panic under q.mu would deadlock
+// the rest of the task tree instead of surfacing the report.
+func (q *Queue[T]) checkNoHiddenDataLocked(qv *qviews[T]) string {
+	cf := qv.frame
+	var walk func(n *qviews[T]) string
+	walk = func(n *qviews[T]) string {
+		switch {
+		case n == qv:
+			if n.children.hasData() || n.user.hasData() {
+				return "hyperqueue: Empty returned true while the consumer's own views hold data (frontier fold incomplete)"
+			}
+		case n.frame.IsAncestorOf(cf):
+			if n.children.hasData() {
+				return "hyperqueue: Empty returned true while an ancestor's children view holds data (frontier fold incomplete)"
+			}
+		case cf.IsAncestorOf(n.frame):
+			return "hyperqueue: live descendant holds queue views while the consumer declared permanent emptiness"
+		case n.frame.Before(cf):
+			if n.children.hasData() || n.user.hasData() || n.right.hasData() {
+				return "hyperqueue: task ordered before the consumer is live with data at a permanent-emptiness decision"
+			}
+		}
+		for c := n.childHead; c != nil; c = c.next {
+			if v := walk(c); v != "" {
+				return v
+			}
+		}
+		return ""
+	}
+	return walk(q.ownerQV)
+}
 
 // InvariantViolation describes one violated invariant.
 type InvariantViolation struct {

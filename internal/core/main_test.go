@@ -1,0 +1,17 @@
+package core
+
+import (
+	"os"
+	"testing"
+)
+
+// TestMain enables the hyperqueue's runtime self-checking assertions for
+// every test in this binary (both the package core tests — including the
+// torture and determinism suites — and the core_test regression tests):
+// each permanent-emptiness decision additionally asserts that no valid
+// view ordered before the consumer still holds data. A violation panics
+// and fails the offending test through Run.
+func TestMain(m *testing.M) {
+	SetDebugChecks(true)
+	os.Exit(m.Run())
+}

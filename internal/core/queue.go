@@ -21,6 +21,32 @@
 //     live producer tasks plus program-order labels: Empty blocks while
 //     any producer that precedes the consumer in the serial elision is
 //     still live, which is the same observable condition.
+//
+// # The Empty contract
+//
+// Empty is the consumer's end-of-stream test and is allowed to block: it
+// returns false as soon as a value is available to pop, and it returns
+// true only when the emptiness is permanent — no value ordered before
+// the consumer's current position in the serial elision exists now or
+// can ever be produced. While the answer is undecided (the queue looks
+// empty but a producer ordered before the consumer is still live), Empty
+// waits, releasing the task's execution capacity so it never starves
+// runnable tasks. Pop relies on the same decision procedure: popping a
+// permanently empty queue panics, and a pop on a temporarily empty queue
+// blocks until the head value arrives.
+//
+// Deciding permanent emptiness takes more than scanning the head chain:
+// values pushed by an already-completed producer can sit in a view that
+// is not yet physically linked into the queue's segment chain (a
+// completed task's user view deposited into a sibling's right view, a
+// child's views folded into its parent's children view, ...). The
+// consumer therefore finishes the deferred reductions itself: once no
+// live producer precedes it, every view ordered before its position is
+// held by one of its ancestors' children views or by its own children
+// and user views, and linkFrontier folds exactly those into the queue
+// view (the §4.5 "double reduction", applied consistently at the
+// consumer rather than only at push time). Only if the queue view still
+// exposes no value after that fold is the emptiness permanent.
 package core
 
 import (
@@ -31,8 +57,12 @@ import (
 )
 
 // emptySpins bounds the in-slot spin of Empty before it falls back to a
-// blocking wait (see Empty).
-const emptySpins = 128
+// blocking wait, and emptySpinsQuick is the short lock-free prefix of
+// that spin run before the first producer-liveness check (see emptyWait).
+const (
+	emptySpins      = 128
+	emptySpinsQuick = 8
+)
 
 // AccessMode is the set of privileges a task holds on a hyperqueue
 // (§2.1): push, pop, or both.
@@ -334,36 +364,100 @@ func (q *Queue[T]) reachableData() bool {
 	}
 }
 
-// Empty reports whether the queue is permanently empty for this task: it
-// returns false when a value is available to pop, and true only when it
-// is certain no more values visible to this task will arrive (§2.1). It
-// blocks while the answer is undecided, releasing the worker slot.
-func (q *Queue[T]) Empty(f *sched.Frame) bool {
-	qv := q.mustViews(f, ModePop)
-	q.acquireConsumer(f, qv)
-	if q.reachableData() {
-		return false
+// linkFrontier folds every view ordered before consumer qv's current
+// position into the queue view, making the values they hold physically
+// reachable from the head chain. This is the §4.5 "double reduction"
+// applied at the consumer: deposits performed by completed producers
+// (depositCompleted, shareHead) only splice views together logically;
+// the physical next links materialize when matching local ends finally
+// reduce, which without this fold can be as late as the consumer's own
+// completion — far too late for its own pops.
+//
+// Preconditions: the caller holds q.mu, qv's frame holds the consumer
+// role, and no live producer precedes qv.frame in the serial elision
+// (visibleProducerLive returned false). Under those conditions every
+// task ordered before the consumer has completed — pop tasks by consumer
+// serialization, push tasks because none is live — and deposited its
+// views, transitively, into the children views of the consumer's
+// ancestors (root-to-leaf order) or into the consumer's own children and
+// user views. Views held by live tasks ordered after the consumer, and
+// the consumer's own right view, hold only values ordered after it and
+// are left alone (§2.3 rule 4).
+//
+// After the fold the queue view may end in a local tail (every produced
+// segment is linked). It is then re-split: the queue view keeps the head
+// and a fresh non-local tail, and the consumer's user view takes the
+// pushable tail half — the queue view and the user view of the task at
+// the serial frontier share one split, restoring invariant 3 and letting
+// the consumer's next push extend the chain in place.
+func (q *Queue[T]) linkFrontier(qv *qviews[T]) {
+	var path []*qviews[T]
+	for p := qv; p != nil; p = p.parentQV {
+		path = append(path, p)
 	}
-	// Spin briefly while holding execution capacity: in steady state the
-	// next value is microseconds away, and the consumer is typically the
-	// pipeline's serial bottleneck — parking it would put it at the back
-	// of the capacity queue behind every pending producer task. This
-	// approximates the paper's choice to block the worker (§4.5) while
-	// still falling back to a capacity-releasing wait, which keeps
-	// pathological programs deadlock-free.
-	for i := 0; i < emptySpins; i++ {
+	for i := len(path) - 1; i >= 0; i-- {
+		reduce(&q.headView, &path[i].children)
+	}
+	reduce(&q.headView, &qv.user)
+	if q.headView.tail != nil {
+		q.nlctr++
+		qv.user = view[T]{headNL: q.nlctr, tail: q.headView.tail, valid: true}
+		q.headView.tail = nil
+		q.headView.tailNL = q.nlctr
+	}
+}
+
+// decideEmptyLocked settles the Empty answer once no live producer
+// precedes the consumer: it links the frontier views and re-tests
+// reachability. If nothing is reachable after the fold, the emptiness is
+// permanent. Caller holds q.mu. With debug checks enabled a detected
+// contract violation is returned (not panicked — the caller raises it
+// after releasing q.mu so a violation cannot deadlock the task tree).
+func (q *Queue[T]) decideEmptyLocked(qv *qviews[T]) (empty bool, violation string) {
+	q.linkFrontier(qv)
+	if q.reachableData() {
+		return false, ""
+	}
+	if debugChecks.Load() {
+		violation = q.checkNoHiddenDataLocked(qv)
+	}
+	return true, violation
+}
+
+// emptyWait is the slow path shared by Empty and Pop, entered after a
+// failed reachableData probe. It spins briefly while a visible producer
+// is live (in steady state the next value is microseconds away, and the
+// consumer is typically the pipeline's serial bottleneck — parking it
+// would put it at the back of the capacity queue behind every pending
+// producer task), then falls back to a capacity-releasing blocking wait,
+// which keeps pathological programs deadlock-free. When no visible
+// producer remains, the answer is decided immediately via
+// decideEmptyLocked — there is nothing to spin for.
+func (q *Queue[T]) emptyWait(f *sched.Frame, qv *qviews[T]) bool {
+	for i := 0; i < emptySpinsQuick; i++ {
 		runtime.Gosched()
 		if q.reachableData() {
 			return false
 		}
 	}
+	var empty bool
+	var violation string
 	q.mu.Lock()
-	live := q.visibleProducerLive(f)
-	q.mu.Unlock()
-	if !live {
-		return !q.reachableData()
+	if !q.visibleProducerLive(f) {
+		empty, violation = q.decideEmptyLocked(qv)
+		q.mu.Unlock()
+		if violation != "" {
+			panic(violation)
+		}
+		return empty
 	}
-	empty := false
+	q.mu.Unlock()
+	for i := emptySpinsQuick; i < emptySpins; i++ {
+		runtime.Gosched()
+		if q.reachableData() {
+			return false
+		}
+	}
 	f.Block(func() {
 		q.mu.Lock()
 		q.waiters++
@@ -372,7 +466,7 @@ func (q *Queue[T]) Empty(f *sched.Frame) bool {
 				break
 			}
 			if !q.visibleProducerLive(f) {
-				empty = !q.reachableData()
+				empty, violation = q.decideEmptyLocked(qv)
 				break
 			}
 			q.cond.Wait()
@@ -380,30 +474,77 @@ func (q *Queue[T]) Empty(f *sched.Frame) bool {
 		q.waiters--
 		q.mu.Unlock()
 	})
+	if violation != "" {
+		panic(violation)
+	}
 	return empty
+}
+
+// Empty reports whether the queue is permanently empty for this task: it
+// returns false when a value is available to pop, and true only when it
+// is certain no more values visible to this task will arrive (§2.1) —
+// see "The Empty contract" in the package comment. It blocks while the
+// answer is undecided, releasing the worker slot.
+func (q *Queue[T]) Empty(f *sched.Frame) bool {
+	qv := q.mustViews(f, ModePop)
+	q.acquireConsumer(f, qv)
+	if q.reachableData() {
+		return false
+	}
+	return q.emptyWait(f, qv)
 }
 
 // Pop removes and returns the value at the head of the queue. Calling Pop
 // when Empty would report true is an error and panics, as in the paper
 // ("popping elements from an empty queue is an error"). Pop blocks while
-// the head value has not yet been produced.
+// the head value has not yet been produced. The fast path — data already
+// linked at the head — takes no locks and does not enter the emptiness
+// spin/wait protocol.
 func (q *Queue[T]) Pop(f *sched.Frame) T {
-	if q.Empty(f) {
+	qv := q.mustViews(f, ModePop)
+	q.acquireConsumer(f, qv)
+	if !q.reachableData() && q.emptyWait(f, qv) {
 		panic("hyperqueue: pop on permanently empty queue")
 	}
 	return q.headView.head.pop()
 }
 
 // TryPop is a non-blocking variant used by slice-style consumers: it
-// returns the head value if one is immediately reachable.
+// returns the head value if one is immediately reachable. Before giving
+// up it links any frontier views deposited by completed producers, so a
+// value that exists and is ordered before the consumer is never missed.
 func (q *Queue[T]) TryPop(f *sched.Frame) (T, bool) {
 	qv := q.mustViews(f, ModePop)
 	q.acquireConsumer(f, qv)
-	if !q.reachableData() {
+	if !q.tryReachable(f, qv) {
 		var zero T
 		return zero, false
 	}
 	return q.headView.head.pop(), true
+}
+
+// tryReachable is the non-blocking reachability probe shared by TryPop
+// and ReadSlice: reachableData, with a frontier fold when it is safe (no
+// live producer precedes the consumer). In that safe case a false
+// answer is as strong as a true Empty — no preceding value exists — so
+// the same no-hidden-data assertion applies under debug checks.
+func (q *Queue[T]) tryReachable(f *sched.Frame, qv *qviews[T]) bool {
+	if q.reachableData() {
+		return true
+	}
+	var violation string
+	q.mu.Lock()
+	if !q.visibleProducerLive(f) {
+		q.linkFrontier(qv)
+		if debugChecks.Load() && !q.reachableData() {
+			violation = q.checkNoHiddenDataLocked(qv)
+		}
+	}
+	q.mu.Unlock()
+	if violation != "" {
+		panic(violation)
+	}
+	return q.reachableData()
 }
 
 // SyncPop suspends the calling frame until all of its child tasks with

@@ -16,7 +16,7 @@ import "repro/internal/sched"
 func (q *Queue[T]) ReadSlice(f *sched.Frame, max int) []T {
 	qv := q.mustViews(f, ModePop)
 	q.acquireConsumer(f, qv)
-	if max < 1 || !q.reachableData() {
+	if max < 1 || !q.tryReachable(f, qv) {
 		return nil
 	}
 	s := q.headView.head

@@ -36,6 +36,28 @@ func (v *view[T]) hasLocalTail() bool { return v.valid && v.tail != nil }
 // hasLocalHead reports whether the view exposes a poppable head.
 func (v *view[T]) hasLocalHead() bool { return v.valid && v.head != nil }
 
+// hasData reports whether any segment of the view's chain holds a value.
+// It is a diagnostic helper for the invariant checker, not a hot-path
+// primitive: a view with a non-local head cannot be walked from its
+// start, so only its tail segment is inspected in that case.
+func (v *view[T]) hasData() bool {
+	if !v.valid {
+		return false
+	}
+	if v.head == nil {
+		return v.tail != nil && v.tail.size() > 0
+	}
+	for s := v.head; s != nil; s = s.next.Load() {
+		if s.size() > 0 {
+			return true
+		}
+		if s == v.tail {
+			break
+		}
+	}
+	return false
+}
+
 func (v *view[T]) String() string {
 	if !v.valid {
 		return "ε"

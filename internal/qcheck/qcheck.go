@@ -1,0 +1,196 @@
+// Package qcheck generates random hyperqueue programs and checks them
+// against their serial elision. It is the engine behind cmd/quickcheck
+// and the internal/core regression tests: both need the exact same
+// program generator so that a seed reported by one ("FAIL seed=139") can
+// be replayed by the other.
+//
+// A program is a random task tree whose tasks push values, pop or drain
+// the queue, and spawn children with a random subset of their own
+// privileges. While generating, the serial elision is played alongside:
+// a plain FIFO records which task would consume which values if every
+// spawn ran inline. Executing the program on the real runtime at any
+// worker count and segment size must reproduce that oracle exactly —
+// that is the paper's serializability theorem.
+//
+// The generator's random-stream consumption is part of its identity: a
+// given seed must keep producing the same program across refactors, or
+// historical failure reports stop being reproducible. Do not reorder or
+// add RNG draws.
+package qcheck
+
+import (
+	"reflect"
+	"sync"
+
+	"repro/internal/rng"
+	"repro/swan"
+)
+
+const (
+	actPush = iota
+	actSpawn
+	actPopN
+	actDrain
+)
+
+type action struct {
+	kind  int
+	val   int
+	n     int
+	child *task
+}
+
+type task struct {
+	id   int
+	mode uint8 // 1=push, 2=pop, 3=both
+	acts []action
+}
+
+// Program is one generated random program together with its
+// serial-elision oracle: Oracle[taskID] lists the values that task pops,
+// in order.
+type Program struct {
+	Seed   uint64
+	Oracle map[int][]int
+	Tasks  int
+	Values int
+	root   *task
+}
+
+type generator struct {
+	r       *rng.RNG
+	nextID  int
+	nextVal int
+	oracle  map[int][]int
+	serialQ []int
+}
+
+// Generate builds the random program for seed. Generation is
+// deterministic: the same seed always yields the same program and
+// oracle.
+func Generate(seed uint64) *Program {
+	g := &generator{r: rng.New(seed), oracle: make(map[int][]int)}
+	root := g.gen(3, 4)
+	return &Program{Seed: seed, Oracle: g.oracle, Tasks: g.nextID, Values: g.nextVal, root: root}
+}
+
+func (g *generator) gen(mode uint8, depth int) *task {
+	td := &task{id: g.nextID, mode: mode}
+	g.nextID++
+	for i, n := 0, 2+g.r.Intn(5); i < n; i++ {
+		switch g.r.Intn(4) {
+		case 0:
+			if mode&1 == 0 {
+				continue
+			}
+			for j, k := 0, 1+g.r.Intn(4); j < k; j++ {
+				td.acts = append(td.acts, action{kind: actPush, val: g.nextVal})
+				g.serialQ = append(g.serialQ, g.nextVal)
+				g.nextVal++
+			}
+		case 1:
+			if depth == 0 {
+				continue
+			}
+			cm := mode
+			if mode == 3 {
+				cm = []uint8{1, 2, 3}[g.r.Intn(3)]
+			}
+			td.acts = append(td.acts, action{kind: actSpawn, child: g.gen(cm, depth-1)})
+		case 2:
+			if mode&2 == 0 || len(g.serialQ) == 0 {
+				continue
+			}
+			n := 1 + g.r.Intn(len(g.serialQ))
+			td.acts = append(td.acts, action{kind: actPopN, n: n})
+			g.oracle[td.id] = append(g.oracle[td.id], g.serialQ[:n]...)
+			g.serialQ = g.serialQ[n:]
+		case 3:
+			if mode&2 == 0 {
+				continue
+			}
+			td.acts = append(td.acts, action{kind: actDrain})
+			if len(g.serialQ) > 0 {
+				g.oracle[td.id] = append(g.oracle[td.id], g.serialQ...)
+				g.serialQ = nil
+			}
+		}
+	}
+	return td
+}
+
+// Execute runs the program on the real runtime with the given worker
+// count, segment capacity and scheduling substrate, returning what each
+// task actually consumed. The hyperqueue's runtime self-checking
+// assertions are enabled for the duration of the process (qcheck is a
+// verifier; an assertion failure surfaces as a panic out of Execute).
+func (p *Program) Execute(workers, segCap int, policy swan.SpawnPolicy) map[int][]int {
+	swan.SetQueueDebugChecks(true)
+	consumed := make(map[int][]int)
+	var mu sync.Mutex
+	swan.NewWithPolicy(workers, policy).Run(func(f *swan.Frame) {
+		q := swan.NewQueueWithCapacity[int](f, segCap)
+		var exec func(f *swan.Frame, td *task)
+		exec = func(f *swan.Frame, td *task) {
+			for _, a := range td.acts {
+				switch a.kind {
+				case actPush:
+					q.Push(f, a.val)
+				case actSpawn:
+					child := a.child
+					var dep swan.Dep
+					switch child.mode {
+					case 1:
+						dep = swan.Push(q)
+					case 2:
+						dep = swan.Pop(q)
+					default:
+						dep = swan.PushPop(q)
+					}
+					f.Spawn(func(c *swan.Frame) { exec(c, child) }, dep)
+				case actPopN:
+					for j := 0; j < a.n; j++ {
+						v := q.Pop(f)
+						mu.Lock()
+						consumed[td.id] = append(consumed[td.id], v)
+						mu.Unlock()
+					}
+				case actDrain:
+					for !q.Empty(f) {
+						v := q.Pop(f)
+						mu.Lock()
+						consumed[td.id] = append(consumed[td.id], v)
+						mu.Unlock()
+					}
+				}
+			}
+		}
+		exec(f, p.root)
+	})
+	return consumed
+}
+
+// Check executes the program and compares against the oracle. It
+// returns the consumed map and whether it matched.
+func (p *Program) Check(workers, segCap int, policy swan.SpawnPolicy) (map[int][]int, bool) {
+	got := p.Execute(workers, segCap, policy)
+	return got, Equal(got, p.Oracle)
+}
+
+// DefaultPolicy reports the scheduling substrate selected by the
+// REPRO_SCHED environment variable, so callers can sweep it without
+// importing the runtime packages.
+func DefaultPolicy() swan.SpawnPolicy { return swan.DefaultPolicy() }
+
+// Equal reports whether two per-task consumption maps are identical.
+func Equal(a, b map[int][]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if !reflect.DeepEqual(v, b[k]) {
+			return false
+		}
+	}
+	return true
+}
