@@ -2,7 +2,13 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test race bench-smoke quickcheck ci
+# bench-json knobs: which benchmarks make up the recorded perf set, how
+# long to run each, and where the JSON lands.
+BENCH_SET  ?= SteadyStateAllocs|PrepareCompleteContention|BatchedSpawn|AblationSchedulerSubstrate|AblationSegmentSize|AblationQueueVsChannel
+BENCH_TIME ?= 300ms
+BENCH_OUT  ?= BENCH_pr3.json
+
+.PHONY: all build vet fmt-check test race bench-smoke bench-json quickcheck ci
 
 all: build
 
@@ -29,12 +35,25 @@ race:
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
+# Run the recorded perf set with allocation reporting and emit the
+# machine-readable result file (name, iterations, ns/op, allocs/op and
+# custom metrics like steals/op) for the perf trajectory. The text
+# output goes through an intermediate file so a benchmark failure fails
+# the target instead of being swallowed by the pipe.
+bench-json:
+	$(GO) test -bench='$(BENCH_SET)' -benchmem -benchtime=$(BENCH_TIME) -run='^$$' . > $(BENCH_OUT).txt
+	$(GO) run ./cmd/benchjson < $(BENCH_OUT).txt > $(BENCH_OUT)
+	@rm -f $(BENCH_OUT).txt
+	@echo "wrote $(BENCH_OUT)"
+
 # Serializability verifier: random programs against the serial elision,
 # under both scheduling substrates, plus the hyperqueue regression tests
 # under the race detector.
 quickcheck:
 	$(GO) run ./cmd/quickcheck -n 200
 	REPRO_SCHED=goroutine $(GO) run ./cmd/quickcheck -n 200
+	$(GO) run ./cmd/quickcheck -n 100 -queues 2
+	REPRO_SCHED=goroutine $(GO) run ./cmd/quickcheck -n 100 -queues 2
 	$(GO) test -race -count=3 -run 'Regression' ./internal/core
 
 ci: build vet fmt-check test race bench-smoke quickcheck

@@ -353,6 +353,115 @@ func BenchmarkAblationLoopSplit(b *testing.B) {
 	})
 }
 
+// --- Zero-allocation steady state (§3.2) ---------------------------------
+
+// BenchmarkSteadyStateAllocs measures the long-running one-producer /
+// one-consumer ring: with pooled segments every push, pop, overflow link
+// and drain-past recycle must run allocation-free, so allocs/op converges
+// to 0 (the constant setup — runtime, queue, two task frames — amortizes
+// over b.N values).
+func BenchmarkSteadyStateAllocs(b *testing.B) {
+	b.ReportAllocs()
+	rt := sched.New(2)
+	rt.Run(func(f *sched.Frame) {
+		q := core.NewWithCapacity[int](f, 256)
+		b.ResetTimer()
+		f.Spawn(func(c *sched.Frame) {
+			for i := 0; i < b.N; i++ {
+				q.Push(c, i)
+			}
+		}, core.Push(q))
+		f.Spawn(func(c *sched.Frame) {
+			for i := 0; i < b.N; i++ {
+				q.Pop(c)
+			}
+		}, core.Pop(q))
+		f.Sync()
+		b.StopTimer()
+	})
+}
+
+// --- Ablation: sharded queue locks vs legacy single mutex ----------------
+
+// BenchmarkPrepareCompleteContention measures the structural hot path the
+// lock split targets: a stream of short-lived sibling producer tasks
+// (Prepare/Complete churn on the registry lock) feeding a concurrently
+// popping consumer (wake-ups on every push). "sharded" is the production
+// queue — push wake-ups are an atomic load, Prepare/Complete take only
+// the registry lock; "legacy" routes everything through one mutex, the
+// way the queue was locked before this split.
+func BenchmarkPrepareCompleteContention(b *testing.B) {
+	workers := runtime.NumCPU()
+	if workers < 4 {
+		workers = 4
+	}
+	const perTask = 16
+	for _, mode := range []string{"sharded", "legacy"} {
+		b.Run("lock="+mode, func(b *testing.B) {
+			rt := sched.New(workers)
+			rt.Run(func(f *sched.Frame) {
+				var q *core.Queue[int]
+				if mode == "legacy" {
+					q = core.NewLegacyLocked[int](f, 64)
+				} else {
+					q = core.NewWithCapacity[int](f, 64)
+				}
+				b.ResetTimer()
+				// The producer side is spawned before the consumer so the
+				// consumer observes it in the serial elision: Empty blocks
+				// (and the push wake-up path fires) until every producer
+				// task ordered before it has retired.
+				f.Spawn(func(spawner *sched.Frame) {
+					tasks := b.N/perTask + 1
+					for i := 0; i < tasks; i++ {
+						spawner.Spawn(func(c *sched.Frame) {
+							for j := 0; j < perTask; j++ {
+								q.Push(c, j)
+							}
+						}, core.Push(q))
+					}
+				}, core.Push(q))
+				f.Spawn(func(c *sched.Frame) {
+					for !q.Empty(c) {
+						q.Pop(c)
+					}
+				}, core.Pop(q))
+				f.Sync()
+				b.StopTimer()
+			})
+		})
+	}
+}
+
+// --- Ablation: batched vs one-at-a-time loop-split spawn -----------------
+
+// BenchmarkBatchedSpawn compares publishing a wave of k tasks with
+// SpawnN (one deque tail store, one wake sweep) against k consecutive
+// Spawn calls, on the dep-free fan-out shape. Op = one spawned task.
+func BenchmarkBatchedSpawn(b *testing.B) {
+	const wave = 16
+	for _, mode := range []string{"spawn-loop", "spawn-n"} {
+		b.Run("mode="+mode, func(b *testing.B) {
+			rt := sched.New(runtime.NumCPU())
+			rt.Run(func(f *sched.Frame) {
+				b.ResetTimer()
+				waves := b.N/wave + 1
+				for w := 0; w < waves; w++ {
+					if mode == "spawn-n" {
+						f.SpawnN(wave, func(*sched.Frame, int) {})
+					} else {
+						for i := 0; i < wave; i++ {
+							f.Spawn(func(*sched.Frame) {})
+						}
+					}
+					f.Sync()
+				}
+				b.StopTimer()
+			})
+		})
+	}
+}
+
 // --- Runtime microbenchmarks ---------------------------------------------
 
 func BenchmarkSpawnSyncOverhead(b *testing.B) {

@@ -9,14 +9,19 @@
 //
 // Usage:
 //
-//	quickcheck [-n 200] [-seed 1] [-workers N] [-v]
+//	quickcheck [-n 200] [-seed 1] [-workers N] [-queues Q] [-v]
 //
 // Each failing program is reported once, with every failing
 // (workers, segcap) configuration aggregated on a single FAIL line; use
-// -workers to pin the worker count for a targeted reproduction. The
-// scheduling substrate follows REPRO_SCHED ("steal" or "goroutine").
-// Exit status 0 means every program behaved exactly like its serial
-// elision.
+// -workers to pin the worker count for a targeted reproduction. With
+// -queues 1 (the default) programs come from the original frozen
+// generator, so historical seed reports stay reproducible; -queues 2 or
+// higher switches to the extended multi-queue generator (qcheck
+// GenerateMulti), whose programs also Sync mid-task and Call children
+// synchronously, covering cross-queue interleavings — a failure there is
+// reported as (seed, queues). The scheduling substrate follows
+// REPRO_SCHED ("steal" or "goroutine"). Exit status 0 means every
+// program behaved exactly like its serial elision.
 package main
 
 import (
@@ -33,6 +38,7 @@ func main() {
 	n := flag.Int("n", 200, "number of random programs")
 	seed := flag.Uint64("seed", 1, "base seed")
 	workers := flag.Int("workers", 0, "worker count to test (0 = sweep 1, 2 and NumCPU)")
+	queues := flag.Int("queues", 1, "hyperqueues per program (1 = original frozen generator, >1 = multi-queue generator with Sync/Call actions)")
 	verbose := flag.Bool("v", false, "log each program")
 	flag.Parse()
 
@@ -46,7 +52,12 @@ func main() {
 
 	failedPrograms := 0
 	for i := 0; i < *n; i++ {
-		p := qcheck.Generate(*seed + uint64(i))
+		var p *qcheck.Program
+		if *queues > 1 {
+			p = qcheck.GenerateMulti(*seed+uint64(i), *queues)
+		} else {
+			p = qcheck.Generate(*seed + uint64(i))
+		}
 		var badConfigs []string
 		var firstGot map[int][]int
 		for _, w := range workerSet {
@@ -62,18 +73,18 @@ func main() {
 		}
 		if len(badConfigs) > 0 {
 			failedPrograms++
-			fmt.Printf("FAIL seed=%d (%s)\n  got:    %v\n  oracle: %v\n",
-				p.Seed, strings.Join(badConfigs, ", "), firstGot, p.Oracle)
+			fmt.Printf("FAIL seed=%d queues=%d (%s)\n  got:    %v\n  oracle: %v\n",
+				p.Seed, p.Queues, strings.Join(badConfigs, ", "), firstGot, p.Oracle)
 		} else if *verbose {
-			fmt.Printf("program %3d: %d tasks, %d values — ok\n", i, p.Tasks, p.Values)
+			fmt.Printf("program %3d: %d tasks, %d values, %d queues — ok\n", i, p.Tasks, p.Values, p.Queues)
 		}
 	}
 	if failedPrograms > 0 {
-		fmt.Printf("%d of %d programs FAILED (sched=%s)\n", failedPrograms, *n, policy)
+		fmt.Printf("%d of %d programs FAILED (sched=%s, queues=%d)\n", failedPrograms, *n, policy, *queues)
 		os.Exit(1)
 	}
-	fmt.Printf("quickcheck: %d random programs × %d workers × %d segment sizes (sched=%s) — all match the serial elision ✓\n",
-		*n, len(workerSet), len(segSet), policy)
+	fmt.Printf("quickcheck: %d random programs × %d workers × %d segment sizes × %d queues (sched=%s) — all match the serial elision ✓\n",
+		*n, len(workerSet), len(segSet), *queues, policy)
 }
 
 func dedup(xs []int) []int {

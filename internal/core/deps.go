@@ -25,23 +25,14 @@ type queueDep[T any] struct {
 // order (§4.2, "Spawn with push/pop privileges"): it checks the privilege
 // subset rule, hands the parent's user view to the child, links the child
 // into the live-sibling chain, registers producers, and issues the
-// consumer-serialization ticket.
+// consumer-serialization ticket. Only the sibling chain and the producer
+// registry need q.regMu; the view handoff and the ticket touch
+// parent-goroutine-private state.
 func (d queueDep[T]) Prepare(parent, child *sched.Frame) {
 	q := d.q
 	pqv := q.mustViews(parent, d.mode) // subset rule: parent must hold every privilege it delegates
-	q.mu.Lock()
-	defer q.mu.Unlock()
 
 	cqv := &qviews[T]{q: q, frame: child, mode: d.mode, parentQV: pqv}
-
-	// Link as youngest live sibling of pqv's children on this queue.
-	cqv.prev = pqv.childTail
-	if pqv.childTail != nil {
-		pqv.childTail.next = cqv
-	} else {
-		pqv.childHead = cqv
-	}
-	pqv.childTail = cqv
 
 	// The user view moves to the child: for pushers so they extend the
 	// chain in place, for poppers so it is hidden from later pushers
@@ -50,12 +41,23 @@ func (d queueDep[T]) Prepare(parent, child *sched.Frame) {
 	pqv.user = emptyView[T]()
 
 	if d.mode&ModePop != 0 {
-		cqv.popTicket = pqv.popTickets
-		pqv.popTickets++
+		cqv.popTicket = pqv.popTickets.Load()
+		pqv.popTickets.Add(1)
 	}
+
+	q.lockReg()
+	// Link as youngest live sibling of pqv's children on this queue.
+	cqv.prev = pqv.childTail
+	if pqv.childTail != nil {
+		pqv.childTail.next = cqv
+	} else {
+		pqv.childHead = cqv
+	}
+	pqv.childTail = cqv
 	if d.mode&ModePush != 0 {
 		q.producers[child] = struct{}{}
 	}
+	q.unlockReg()
 
 	child.SetAttachment(queueKey[T]{q}, cqv)
 	child.AddSyncHook(func() { q.syncHook(cqv) })
@@ -69,40 +71,47 @@ func (d queueDep[T]) Wait(child *sched.Frame) {
 		return
 	}
 	q := d.q
-	q.mu.Lock()
 	cqv := q.viewsOf(child)
-	for cqv.parentQV.popServed != cqv.popTicket {
+	if cqv.parentQV.popServed.Load() == cqv.popTicket {
+		return
+	}
+	q.consMu.Lock()
+	for cqv.parentQV.popServed.Load() != cqv.popTicket {
 		q.cond.Wait()
 	}
-	q.mu.Unlock()
+	q.consMu.Unlock()
 }
 
 // Ready is the non-blocking probe of sched.ReadyDep: push-only tasks are
 // always ready, and a pop-privileged task is ready once its consumer
 // ticket has been served. popServed only advances, so readiness is
-// stable, as the contract requires.
+// stable, as the contract requires. The probe is a single atomic load.
 func (d queueDep[T]) Ready(child *sched.Frame) bool {
 	if d.mode&ModePop == 0 {
 		return true
 	}
-	q := d.q
-	q.mu.Lock()
-	cqv := q.viewsOf(child)
-	ok := cqv.parentQV.popServed == cqv.popTicket
-	q.mu.Unlock()
-	return ok
+	cqv := d.q.viewsOf(child)
+	return cqv.parentQV.popServed.Load() == cqv.popTicket
 }
 
 // Complete runs in the child after its body and implicit sync: the
 // child's views are reduced into its nearest live elder sibling or its
 // parent (§4.2, "Return from spawn"), it leaves the live-sibling chain,
 // producers retire, and the consumer ticket advances.
+//
+// A retiring producer may have been the last one ordered before a
+// consumer parked in Empty/Pop. In that case Complete performs the
+// frontier fold itself (§4.5 double reduction, run from the producer
+// side): the consumer wakes to data already linked into the head chain
+// instead of re-deriving the fold under its own decision path. The fold
+// requires consMu (which proves the parked consumer cannot concurrently
+// touch the queue view) and regMu nested inside it, so the registry
+// lock is released first — regMu is never held while taking consMu.
 func (d queueDep[T]) Complete(parent, child *sched.Frame) {
 	q := d.q
-	q.mu.Lock()
-	defer q.mu.Unlock()
 	cqv := q.viewsOf(child)
 
+	q.lockReg()
 	q.depositCompleted(cqv)
 
 	// Unlink from the live-sibling chain.
@@ -117,16 +126,26 @@ func (d queueDep[T]) Complete(parent, child *sched.Frame) {
 		cqv.parentQV.childTail = cqv.prev
 	}
 
-	if d.mode&ModePop != 0 {
-		cqv.parentQV.popServed++
-	}
 	if d.mode&ModePush != 0 {
 		delete(q.producers, child)
 	}
-	// Wake ticket waiters and consumers blocked in Empty/Pop: a retiring
-	// producer may have been the last one ordered before the consumer, in
-	// which case the consumer's next visibility check folds the views
-	// deposited above into the queue view (linkFrontier) and either finds
-	// the child's values or proves permanent emptiness.
+	q.unlockReg()
+
+	if d.mode&ModePop != 0 {
+		cqv.parentQV.popServed.Add(1)
+	}
+
+	// Wake ticket waiters and consumers blocked in Empty/Pop — and, when
+	// this completion retired the last producer ordered before a parked
+	// consumer, link the frontier on its behalf first.
+	q.consMu.Lock()
+	if pc := q.parked; pc != nil {
+		q.lockRegNested()
+		if !q.visibleProducerLive(pc.frame) {
+			q.linkFrontier(pc)
+		}
+		q.unlockRegNested()
+	}
 	q.cond.Broadcast()
+	q.consMu.Unlock()
 }

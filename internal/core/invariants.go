@@ -35,10 +35,11 @@ func SetDebugChecks(on bool) { debugChecks.Store(on) }
 // and the consumer's own user view must be empty, and no live
 // view-holding task may precede the consumer at all (pop tasks have
 // completed by consumer serialization; push tasks would have made
-// visibleProducerLive true). Caller holds q.mu; the violation (empty
-// string if none) is returned rather than panicked so the caller can
-// raise it after releasing the lock — a panic under q.mu would deadlock
-// the rest of the task tree instead of surfacing the report.
+// visibleProducerLive true). Caller holds q.consMu and q.regMu; the
+// violation (empty string if none) is returned rather than panicked so
+// the caller can raise it after releasing the locks — a panic under a
+// queue lock would deadlock the rest of the task tree instead of
+// surfacing the report.
 func (q *Queue[T]) checkNoHiddenDataLocked(qv *qviews[T]) string {
 	cf := qv.frame
 	var walk func(n *qviews[T]) string
@@ -84,8 +85,10 @@ func (v InvariantViolation) String() string {
 // be called from the owner frame's goroutine with no concurrently
 // running tasks on the queue (a quiescent point such as after Sync).
 func (q *Queue[T]) CheckInvariants(f *sched.Frame) []InvariantViolation {
-	q.mu.Lock()
-	defer q.mu.Unlock()
+	q.consMu.Lock()
+	defer q.consMu.Unlock()
+	q.lockRegNested()
+	defer q.unlockRegNested()
 	var out []InvariantViolation
 	report := func(inv int, format string, args ...any) {
 		out = append(out, InvariantViolation{inv, fmt.Sprintf(format, args...)})

@@ -1,57 +1,9 @@
-// Package core implements hyperqueues, the paper's primary contribution
-// (SC 2013, "Deterministic Scale-Free Pipeline Parallelism with
-// Hyperqueues"): a deterministic queue abstraction whose values are
-// exposed to the (single) consumer in serial program order, while many
-// producer tasks push concurrently and the consumer pops concurrently
-// with them.
-//
-// The implementation follows §3–§4 of the paper:
-//
-//   - the underlying storage is a linked chain of fixed-size SPSC ring
-//     segments (segment.go);
-//   - partial chains are tracked by views with local/non-local ends and
-//     combined with split and reduce (view.go);
-//   - every task holding privileges on a queue carries the view set
-//     {children, user, right} (plus the conceptual queue view for
-//     consumers), updated at push, spawn, completion and sync per §4.1–4.2;
-//   - the queue view is stored once in the queue itself with ticket-based
-//     ownership arbitration, the variant the paper sketches in §4.5
-//     ("Special Optimization") for the queue hypermap;
-//   - the per-segment producing flag of §3.2 is realized as a registry of
-//     live producer tasks plus program-order labels: Empty blocks while
-//     any producer that precedes the consumer in the serial elision is
-//     still live, which is the same observable condition.
-//
-// # The Empty contract
-//
-// Empty is the consumer's end-of-stream test and is allowed to block: it
-// returns false as soon as a value is available to pop, and it returns
-// true only when the emptiness is permanent — no value ordered before
-// the consumer's current position in the serial elision exists now or
-// can ever be produced. While the answer is undecided (the queue looks
-// empty but a producer ordered before the consumer is still live), Empty
-// waits, releasing the task's execution capacity so it never starves
-// runnable tasks. Pop relies on the same decision procedure: popping a
-// permanently empty queue panics, and a pop on a temporarily empty queue
-// blocks until the head value arrives.
-//
-// Deciding permanent emptiness takes more than scanning the head chain:
-// values pushed by an already-completed producer can sit in a view that
-// is not yet physically linked into the queue's segment chain (a
-// completed task's user view deposited into a sibling's right view, a
-// child's views folded into its parent's children view, ...). The
-// consumer therefore finishes the deferred reductions itself: once no
-// live producer precedes it, every view ordered before its position is
-// held by one of its ancestors' children views or by its own children
-// and user views, and linkFrontier folds exactly those into the queue
-// view (the §4.5 "double reduction", applied consistently at the
-// consumer rather than only at push time). Only if the queue view still
-// exposes no value after that fold is the emptiness permanent.
 package core
 
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/sched"
 )
@@ -98,27 +50,46 @@ const DefaultSegmentCapacity = 256
 // task; pass privileges to child tasks by spawning them with Push, Pop or
 // PushPop dependences. The task that created the queue holds both
 // privileges, like the paper's top-level task.
+//
+// See the package comment for the locking map: consMu guards the
+// consumer-side wait state, regMu the producer registry and shared
+// views; consMu orders before regMu; headView and consShard are
+// consumer-role-owned; waiters is atomic.
 type Queue[T any] struct {
-	mu     sync.Mutex
-	cond   *sync.Cond // signals: data linked, producer retired, consumer ticket served
 	segCap int
-	nlctr  uint64
+	legacy bool // NewLegacyLocked: both roles share consMu (ablation only)
 
-	// headView is the unique queue view (invariant 2). Its head pointer is
-	// manipulated only by the task currently holding the consumer role;
-	// role handoff is ticket-based (see qviews.popTickets/popServed).
+	// Consumer-side state.
+	consMu sync.Mutex
+	cond   *sync.Cond // signals: data linked, producer retired, consumer ticket served
+	// headView is the unique queue view (invariant 2). Its head pointer
+	// is manipulated only by the task currently holding the consumer
+	// role; role handoff is ticket-based (qviews.popTickets/popServed).
 	headView view[T]
+	// parked is the consumer-role holder currently blocked in
+	// Empty/Pop's capacity-releasing wait, if any; a retiring producer's
+	// Complete uses it to link the frontier from its own side. Guarded
+	// by consMu; while it is non-nil and consMu is held, the parked
+	// frame cannot touch headView.
+	parked *qviews[T]
+	// waiters counts consumers blocked in Empty/Pop so producers can
+	// skip the wake-up lock entirely on the push fast path.
+	waiters atomic.Int32
+	// consShard caches the consumer-role holder's segment-pool shard for
+	// the recycle in reachableData (written in acquireConsumer).
+	consShard int
 
+	// Producer-registry state.
+	regMu sync.Mutex
 	// producers holds the frames of live push-privileged tasks, used by
 	// Empty's visibility test.
 	producers map[*sched.Frame]struct{}
+	nlctr     uint64 // non-local pair id allocator
+
+	pool segPool[T]
 
 	owner   *sched.Frame
 	ownerQV *qviews[T]
-
-	// waiters counts consumers blocked in Empty/Pop so producers can skip
-	// the wake-up lock on the fast path.
-	waiters int32
 }
 
 // qviews is the per-(task, queue) view set of §4: children, user and
@@ -126,20 +97,23 @@ type Queue[T any] struct {
 // program-order structures.
 //
 // Locking: user is private to the frame's goroutine (it is only touched
-// by the frame's own push/sync/complete and by Prepare calls the frame
-// itself makes). children and right are shared — siblings deposit into
-// them — and are guarded by Queue.mu, as are the sibling links.
+// by the frame's own push/sync/complete, by Prepare calls the frame
+// itself makes, and — for a parked consumer — by a Complete-side
+// frontier fold holding consMu). children and right are shared —
+// siblings deposit into them — and are guarded by Queue.regMu, as are
+// the sibling links.
 type qviews[T any] struct {
 	q     *Queue[T]
 	frame *sched.Frame
 	mode  AccessMode
 
 	user     view[T]
-	children view[T] // guarded by q.mu
-	right    view[T] // guarded by q.mu
+	children view[T] // guarded by q.regMu
+	right    view[T] // guarded by q.regMu
 
 	// Live-sibling chain among children (holding views on q) of the same
-	// parent, in program order. Guarded by q.mu.
+	// parent, in program order. Guarded by q.regMu. parentQV is
+	// immutable after Prepare.
 	parentQV   *qviews[T]
 	prev, next *qviews[T]
 	childHead  *qviews[T]
@@ -147,9 +121,13 @@ type qviews[T any] struct {
 
 	// Consumer serialization (§2.3 rule 3): pop-privileged children of
 	// this frame execute one at a time, in spawn order, and the frame's
-	// own pops wait for all of them. Guarded by q.mu.
-	popTickets int64
-	popServed  int64
+	// own pops wait for all of them. popTickets is written only by the
+	// frame's own goroutine (Prepare runs in the parent); popServed is
+	// advanced by completing pop children, whose completions are
+	// themselves serialized; both are atomic for their cross-goroutine
+	// readers. popTicket is immutable after Prepare.
+	popTickets atomic.Int64
+	popServed  atomic.Int64
 	popTicket  int64 // this task's ticket within parentQV
 }
 
@@ -162,13 +140,28 @@ func New[T any](f *sched.Frame) *Queue[T] { return NewWithCapacity[T](f, Default
 // NewWithCapacity creates a hyperqueue owned by frame f whose segments
 // hold segCap values each (§5.1, queue segment length tuning). The
 // initial segment is created immediately (invariant 1) and the queue and
-// user views are formed by splitting the local view on it (§4.1).
+// user views are formed by splitting the local view on it (§4.1). The
+// queue's segment pool is sized for the runtime's worker count.
 func NewWithCapacity[T any](f *sched.Frame, segCap int) *Queue[T] {
+	return newQueue[T](f, segCap, false)
+}
+
+// NewLegacyLocked creates a hyperqueue that funnels every structural
+// operation — Prepare, Complete, deposits, wake-ups — through the single
+// consumer mutex, the way the queue was locked before the registry lock
+// was split out. It exists only for BenchmarkPrepareCompleteContention,
+// the sharded-vs-single-mutex ablation; programs should use New.
+func NewLegacyLocked[T any](f *sched.Frame, segCap int) *Queue[T] {
+	return newQueue[T](f, segCap, true)
+}
+
+func newQueue[T any](f *sched.Frame, segCap int, legacy bool) *Queue[T] {
 	if segCap < 1 {
 		segCap = 1
 	}
-	q := &Queue[T]{segCap: segCap, owner: f, producers: make(map[*sched.Frame]struct{})}
-	q.cond = sync.NewCond(&q.mu)
+	q := &Queue[T]{segCap: segCap, legacy: legacy, owner: f, producers: make(map[*sched.Frame]struct{})}
+	q.cond = sync.NewCond(&q.consMu)
+	q.pool.init(f.Runtime().Workers(), segCap)
 	s0 := newSegment[T](segCap)
 	qv := &qviews[T]{q: q, frame: f, mode: ModePushPop}
 	q.nlctr++
@@ -177,6 +170,40 @@ func NewWithCapacity[T any](f *sched.Frame, segCap int) *Queue[T] {
 	f.SetAttachment(queueKey[T]{q}, qv)
 	f.AddSyncHook(func() { q.syncHook(qv) })
 	return q
+}
+
+// lockReg acquires the producer-registry lock — consMu itself in legacy
+// single-mutex mode. The caller must not hold consMu (use lockRegNested
+// for that).
+func (q *Queue[T]) lockReg() {
+	if q.legacy {
+		q.consMu.Lock()
+	} else {
+		q.regMu.Lock()
+	}
+}
+
+func (q *Queue[T]) unlockReg() {
+	if q.legacy {
+		q.consMu.Unlock()
+	} else {
+		q.regMu.Unlock()
+	}
+}
+
+// lockRegNested acquires the registry lock while consMu is already held
+// (the consMu-before-regMu order). In legacy mode the two are the same
+// mutex and the nested acquisition is a no-op.
+func (q *Queue[T]) lockRegNested() {
+	if !q.legacy {
+		q.regMu.Lock()
+	}
+}
+
+func (q *Queue[T]) unlockRegNested() {
+	if !q.legacy {
+		q.regMu.Unlock()
+	}
 }
 
 // viewsOf returns the view set frame f holds on q, or nil.
@@ -199,16 +226,16 @@ func (q *Queue[T]) mustViews(f *sched.Frame, need AccessMode) *qviews[T] {
 // syncHook folds the children view into the user view at a sync point
 // (§4.2, "Sync"): user ← reduce(children, user).
 func (q *Queue[T]) syncHook(qv *qviews[T]) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
+	q.lockReg()
+	defer q.unlockReg()
 	reduce(&qv.children, &qv.user)
 	qv.children, qv.user = qv.user, qv.children // result belongs in user; children becomes ε
 }
 
 // Push appends v to the queue in the pushing task's position of serial
 // program order (§4.1). The fast path appends to the user view's tail
-// segment without locks; a new segment is linked when the current one is
-// full, and the head-sharing protocol runs when the task has no user
+// segment without locks; a pooled segment is linked when the current one
+// is full, and the head-sharing protocol runs when the task has no user
 // view.
 func (q *Queue[T]) Push(f *sched.Frame, v T) {
 	qv := q.mustViews(f, ModePush)
@@ -220,7 +247,7 @@ func (q *Queue[T]) Push(f *sched.Frame, v T) {
 		panic("hyperqueue: user view has non-local tail at push (internal invariant broken)")
 	}
 	if seg.full() {
-		snew := newSegment[T](q.segCap)
+		snew := q.pool.get(q.pool.shard(f.WorkerID()))
 		seg.next.Store(snew) // tail ownership: only this task may link here
 		qv.user.tail = snew
 		seg = snew
@@ -230,14 +257,14 @@ func (q *Queue[T]) Push(f *sched.Frame, v T) {
 }
 
 // attachFreshSegment implements the §4.1 protocol for a push into an
-// empty user view: create a segment, split the local view on it, keep the
+// empty user view: take a segment, split the local view on it, keep the
 // tail-only half as the user view and hand the head-only half to the
 // immediately preceding view in program order so the consumer can
 // discover it as early as possible (the "double reduction" of §4.5).
 func (q *Queue[T]) attachFreshSegment(qv *qviews[T]) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	snew := newSegment[T](q.segCap)
+	snew := q.pool.get(q.pool.shard(qv.frame.WorkerID()))
+	q.lockReg()
+	defer q.unlockReg()
 	q.nlctr++
 	tmp, user := split(snew, q.nlctr)
 	qv.user = user
@@ -248,7 +275,7 @@ func (q *Queue[T]) attachFreshSegment(qv *qviews[T]) {
 // view in program order (§4.1): the pusher's youngest live child, else
 // its own children view, else — climbing the spawn tree — the nearest
 // live elder sibling's right view or an ancestor's children view, ending
-// at the queue owner's children view. Caller holds q.mu.
+// at the queue owner's children view. Caller holds q.regMu.
 func (q *Queue[T]) shareHead(qv *qviews[T], tmp view[T]) {
 	if yc := qv.childTail; yc != nil {
 		reduce(&yc.right, &tmp)
@@ -277,7 +304,7 @@ func (q *Queue[T]) shareHead(qv *qviews[T], tmp view[T]) {
 
 // depositCompleted folds a completed task's user view into its nearest
 // live elder sibling's right view, or its parent's children view (§4.2,
-// "Return from spawn with push privileges"). Caller holds q.mu.
+// "Return from spawn with push privileges"). Caller holds q.regMu.
 func (q *Queue[T]) depositCompleted(qv *qviews[T]) {
 	reduce(&qv.user, &qv.right)
 	if s := qv.prev; s != nil {
@@ -287,13 +314,31 @@ func (q *Queue[T]) depositCompleted(qv *qviews[T]) {
 	reduce(&qv.parentQV.children, &qv.user)
 }
 
-// wakeConsumer wakes a consumer blocked in Empty or Pop, if any.
+// wakeConsumer wakes a consumer blocked in Empty or Pop, if any. On the
+// sharded-lock path the check is a single atomic load, so a push with no
+// parked consumer — the steady state — touches no lock at all. Lost
+// wakeups are impossible: the consumer increments waiters under consMu
+// before its final reachability re-check, so a producer either observes
+// waiters > 0 (and its broadcast serializes with the consumer's wait
+// through consMu) or stored its value before the consumer's re-check
+// (and the consumer does not wait).
 func (q *Queue[T]) wakeConsumer() {
-	q.mu.Lock()
-	if q.waiters > 0 {
-		q.cond.Broadcast()
+	if q.legacy {
+		// Legacy single-mutex behavior: every push takes the queue lock
+		// to test for waiters.
+		q.consMu.Lock()
+		if q.waiters.Load() > 0 {
+			q.cond.Broadcast()
+		}
+		q.consMu.Unlock()
+		return
 	}
-	q.mu.Unlock()
+	if q.waiters.Load() == 0 {
+		return
+	}
+	q.consMu.Lock()
+	q.cond.Broadcast()
+	q.consMu.Unlock()
 }
 
 // visibleProducerLive reports whether any live producer's values could
@@ -301,7 +346,9 @@ func (q *Queue[T]) wakeConsumer() {
 // in the serial elision (and is not an ancestor — an ancestor's
 // post-spawn pushes are hidden in cf's right view by rule 4), or a
 // descendant of cf (spawned by cf before this pop, hence ordered before
-// it). Caller holds q.mu.
+// it). Once false for a parked cf it stays false: no task ordered before
+// cf can gain push privileges after cf started waiting. Caller holds
+// q.regMu.
 func (q *Queue[T]) visibleProducerLive(cf *sched.Frame) bool {
 	for pf := range q.producers {
 		if pf == cf {
@@ -320,29 +367,30 @@ func (q *Queue[T]) visibleProducerLive(cf *sched.Frame) bool {
 // acquireConsumer blocks until frame f holds the consumer role: all pop
 // tasks it has spawned so far on this queue have completed (§2.3 rule 3;
 // §5.5 explains that a frame whose queue view is away simply blocks).
-// Execution capacity is released while waiting. Caller must not hold q.mu.
+// The fast path is two atomic loads — popTickets is written only by f's
+// own goroutine, and popServed only advances. Execution capacity is
+// released while waiting. Caller must not hold any queue lock.
 func (q *Queue[T]) acquireConsumer(f *sched.Frame, qv *qviews[T]) {
-	q.mu.Lock()
-	if qv.popServed == qv.popTickets {
-		q.mu.Unlock()
-		return
+	if qv.popServed.Load() != qv.popTickets.Load() {
+		f.Block(func() {
+			q.consMu.Lock()
+			for qv.popServed.Load() != qv.popTickets.Load() {
+				q.cond.Wait()
+			}
+			q.consMu.Unlock()
+		})
 	}
-	q.mu.Unlock()
-	f.Block(func() {
-		q.mu.Lock()
-		q.waiters++
-		for qv.popServed != qv.popTickets {
-			q.cond.Wait()
-		}
-		q.waiters--
-		q.mu.Unlock()
-	})
+	q.consShard = q.pool.shard(f.WorkerID())
 }
 
 // reachableData advances the queue view's head across drained segments
 // and reports whether a value is available to pop. Only the consumer-role
 // holder may call it. It takes no lock: the head pointer and ring indices
 // are consumer-owned, and next links are published with atomic stores.
+// Each segment drained past is recycled into the segment pool — the
+// producer that linked its successor abandoned it (a next link exists
+// only once the producer moved on), no view points at it (invariants 4
+// and 5), so the consumer owns it exclusively.
 func (q *Queue[T]) reachableData() bool {
 	for {
 		s := q.headView.head
@@ -353,14 +401,13 @@ func (q *Queue[T]) reachableData() bool {
 		if n == nil {
 			return false
 		}
-		// The segment is drained and abandoned by its producer (a next
-		// link exists only once the producer moved on); follow the chain.
-		// Re-check emptiness afterwards: a value may have landed between
-		// the size check and the link load.
+		// Re-check emptiness after the link load: a value may have landed
+		// between the size check and the link load.
 		if s.size() > 0 {
 			return true
 		}
 		q.headView.head = n
+		q.pool.put(q.consShard, s)
 	}
 }
 
@@ -373,16 +420,24 @@ func (q *Queue[T]) reachableData() bool {
 // reduce, which without this fold can be as late as the consumer's own
 // completion — far too late for its own pops.
 //
-// Preconditions: the caller holds q.mu, qv's frame holds the consumer
-// role, and no live producer precedes qv.frame in the serial elision
-// (visibleProducerLive returned false). Under those conditions every
-// task ordered before the consumer has completed — pop tasks by consumer
-// serialization, push tasks because none is live — and deposited its
-// views, transitively, into the children views of the consumer's
-// ancestors (root-to-leaf order) or into the consumer's own children and
-// user views. Views held by live tasks ordered after the consumer, and
-// the consumer's own right view, hold only values ordered after it and
-// are left alone (§2.3 rule 4).
+// Preconditions: the caller holds consMu and regMu, qv's frame holds the
+// consumer role, and no live producer precedes qv.frame in the serial
+// elision (visibleProducerLive returned false). Under those conditions
+// every task ordered before the consumer has completed — pop tasks by
+// consumer serialization, push tasks because none is live — and
+// deposited its views, transitively, into the children views of the
+// consumer's ancestors (root-to-leaf order) or into the consumer's own
+// children and user views. Views held by live tasks ordered after the
+// consumer, and the consumer's own right view, hold only values ordered
+// after it and are left alone (§2.3 rule 4).
+//
+// The fold runs from two sides: the consumer's own emptiness decision
+// (decideEmptyLocked, tryReachable) and a retiring producer's Complete
+// when it finds the consumer parked — both under the same two locks, and
+// the Complete side only while the consumer cannot concurrently touch
+// headView (it is parked under consMu). Repeating the fold is harmless:
+// folded views are ε and the re-split below merely renumbers the
+// non-local pair.
 //
 // After the fold the queue view may end in a local tail (every produced
 // segment is linked). It is then re-split: the queue view keeps the head
@@ -410,9 +465,10 @@ func (q *Queue[T]) linkFrontier(qv *qviews[T]) {
 // decideEmptyLocked settles the Empty answer once no live producer
 // precedes the consumer: it links the frontier views and re-tests
 // reachability. If nothing is reachable after the fold, the emptiness is
-// permanent. Caller holds q.mu. With debug checks enabled a detected
-// contract violation is returned (not panicked — the caller raises it
-// after releasing q.mu so a violation cannot deadlock the task tree).
+// permanent. Caller holds consMu and regMu (nested). With debug checks
+// enabled a detected contract violation is returned (not panicked — the
+// caller raises it after releasing the locks so a violation cannot
+// deadlock the task tree).
 func (q *Queue[T]) decideEmptyLocked(qv *qviews[T]) (empty bool, violation string) {
 	q.linkFrontier(qv)
 	if q.reachableData() {
@@ -432,7 +488,10 @@ func (q *Queue[T]) decideEmptyLocked(qv *qviews[T]) (empty bool, violation strin
 // producer task), then falls back to a capacity-releasing blocking wait,
 // which keeps pathological programs deadlock-free. When no visible
 // producer remains, the answer is decided immediately via
-// decideEmptyLocked — there is nothing to spin for.
+// decideEmptyLocked — there is nothing to spin for. While parked, the
+// consumer registers itself in q.parked so the last retiring producer
+// can link the frontier from its own side and the consumer wakes to
+// already-linked data.
 func (q *Queue[T]) emptyWait(f *sched.Frame, qv *qviews[T]) bool {
 	for i := 0; i < emptySpinsQuick; i++ {
 		runtime.Gosched()
@@ -442,16 +501,19 @@ func (q *Queue[T]) emptyWait(f *sched.Frame, qv *qviews[T]) bool {
 	}
 	var empty bool
 	var violation string
-	q.mu.Lock()
+	q.consMu.Lock()
+	q.lockRegNested()
 	if !q.visibleProducerLive(f) {
 		empty, violation = q.decideEmptyLocked(qv)
-		q.mu.Unlock()
+		q.unlockRegNested()
+		q.consMu.Unlock()
 		if violation != "" {
 			panic(violation)
 		}
 		return empty
 	}
-	q.mu.Unlock()
+	q.unlockRegNested()
+	q.consMu.Unlock()
 	for i := emptySpinsQuick; i < emptySpins; i++ {
 		runtime.Gosched()
 		if q.reachableData() {
@@ -459,20 +521,25 @@ func (q *Queue[T]) emptyWait(f *sched.Frame, qv *qviews[T]) bool {
 		}
 	}
 	f.Block(func() {
-		q.mu.Lock()
-		q.waiters++
+		q.consMu.Lock()
+		q.waiters.Add(1)
+		q.parked = qv
 		for {
 			if q.reachableData() {
 				break
 			}
+			q.lockRegNested()
 			if !q.visibleProducerLive(f) {
 				empty, violation = q.decideEmptyLocked(qv)
+				q.unlockRegNested()
 				break
 			}
+			q.unlockRegNested()
 			q.cond.Wait()
 		}
-		q.waiters--
-		q.mu.Unlock()
+		q.parked = nil
+		q.waiters.Add(-1)
+		q.consMu.Unlock()
 	})
 	if violation != "" {
 		panic(violation)
@@ -533,14 +600,16 @@ func (q *Queue[T]) tryReachable(f *sched.Frame, qv *qviews[T]) bool {
 		return true
 	}
 	var violation string
-	q.mu.Lock()
+	q.consMu.Lock()
+	q.lockRegNested()
 	if !q.visibleProducerLive(f) {
 		q.linkFrontier(qv)
 		if debugChecks.Load() && !q.reachableData() {
 			violation = q.checkNoHiddenDataLocked(qv)
 		}
 	}
-	q.mu.Unlock()
+	q.unlockRegNested()
+	q.consMu.Unlock()
 	if violation != "" {
 		panic(violation)
 	}

@@ -181,3 +181,35 @@ func TestRegressionQuickcheckSweep(t *testing.T) {
 		}
 	}
 }
+
+// TestRegressionMultiQueueSweep sweeps the extended generator — programs
+// over several hyperqueues whose tasks also Sync mid-body and Call
+// children synchronously — under both scheduling substrates. This is the
+// coverage the single-queue generator cannot provide: cross-queue
+// privilege delegation, a consumer of one queue producing into another,
+// and the syncHook children-view fold firing between actions, all
+// against the sharded-lock queue.
+func TestRegressionMultiQueueSweep(t *testing.T) {
+	seeds := 60
+	if testing.Short() {
+		seeds = 15
+	}
+	for _, policy := range policies {
+		for _, queues := range []int{2, 3} {
+			t.Run(fmt.Sprintf("%v/queues=%d", policy, queues), func(t *testing.T) {
+				for i := 0; i < seeds; i++ {
+					p := qcheck.GenerateMulti(1+uint64(i), queues)
+					for _, workers := range []int{1, 2} {
+						for _, segCap := range []int{1, 7} {
+							got, ok := p.Check(workers, segCap, policy)
+							if !ok {
+								t.Fatalf("seed %d queues=%d workers=%d segcap=%d:\n got:    %v\n oracle: %v",
+									p.Seed, queues, workers, segCap, got, p.Oracle)
+							}
+						}
+					}
+				}
+			})
+		}
+	}
+}

@@ -33,6 +33,16 @@ func newSegment[T any](capacity int) *segment[T] {
 	return &segment[T]{buf: make([]T, capacity)}
 }
 
+// reset returns a drained segment to its freshly-allocated state so the
+// pool can hand it to a new producer. The caller must own the segment
+// exclusively. The buffer needs no clearing: pop and ConsumeRead zero
+// each slot as they drain it.
+func (s *segment[T]) reset() {
+	s.head.Store(0)
+	s.tail.Store(0)
+	s.next.Store(nil)
+}
+
 // size reports the number of values currently stored.
 func (s *segment[T]) size() int64 { return s.tail.Load() - s.head.Load() }
 

@@ -1,0 +1,139 @@
+package core
+
+import "sync"
+
+// segPool recycles queue segments so that a pipeline in steady state
+// performs zero heap allocations: every segment the consumer drains past
+// (reachableData) is reset and parked on a free list, and every producer
+// overflow (Push into a full segment, attachFreshSegment, WriteSlice)
+// takes a segment from a free list before falling back to make.
+//
+// The pool is sharded per worker: shard selection hashes the scheduler's
+// worker id (sched.Frame.WorkerID), so a producer and consumer running on
+// the same worker — the common case under help-first scheduling, and the
+// only case on one worker — hit a private free list with an uncontended
+// mutex. Segments freed on one worker and needed on another circulate
+// through the bounded global overflow list; a get that misses its own
+// shard and the overflow scans the other shards before allocating, so a
+// recycled segment is never stranded while another worker allocates.
+// Lists are fixed-capacity arrays: put and get never allocate, and a put
+// that finds everything full simply drops the segment for the garbage
+// collector (the pool is a cache, not an accounting structure).
+//
+// Only segments of the queue's configured capacity are pooled; the
+// oversized segments WriteSlice creates for large requests (§5.2) are
+// dropped on recycle.
+type segPool[T any] struct {
+	shards []segPoolShard[T]
+	mask   int
+	segCap int
+
+	overflowMu sync.Mutex
+	overflow   []*segment[T] // fixed capacity, allocated at init
+}
+
+const (
+	// segShardSlots bounds each per-worker free list; segOverflowSlots
+	// bounds the shared overflow list. Together they cap the idle memory
+	// a queue retains at (shards*segShardSlots + segOverflowSlots)
+	// segments.
+	segShardSlots    = 8
+	segOverflowSlots = 64
+	// maxSegShards caps the shard array on very wide machines; beyond
+	// this, workers share shards by id hash, which only costs some mutex
+	// sharing on a path taken once per segCap values.
+	maxSegShards = 16
+)
+
+type segPoolShard[T any] struct {
+	mu   sync.Mutex
+	n    int
+	free [segShardSlots]*segment[T]
+	// Pad each shard to its own cache-line neighborhood so per-worker
+	// lists do not false-share.
+	_ [64]byte
+}
+
+// init sizes the pool for a runtime with the given worker count. The
+// shard count is the smallest power of two covering the workers, capped
+// at maxSegShards.
+func (p *segPool[T]) init(workers, segCap int) {
+	n := 1
+	for n < workers && n < maxSegShards {
+		n *= 2
+	}
+	p.shards = make([]segPoolShard[T], n)
+	p.mask = n - 1
+	p.segCap = segCap
+	p.overflow = make([]*segment[T], 0, segOverflowSlots)
+}
+
+// shard maps a scheduler worker id to a shard index.
+func (p *segPool[T]) shard(workerID int) int { return workerID & p.mask }
+
+// get returns a reset segment of the queue's configured capacity, taking
+// it from the sid shard, the overflow list, or any other shard before
+// allocating a fresh one.
+func (p *segPool[T]) get(sid int) *segment[T] {
+	sh := &p.shards[sid]
+	sh.mu.Lock()
+	if sh.n > 0 {
+		sh.n--
+		s := sh.free[sh.n]
+		sh.free[sh.n] = nil
+		sh.mu.Unlock()
+		return s
+	}
+	sh.mu.Unlock()
+	p.overflowMu.Lock()
+	if n := len(p.overflow); n > 0 {
+		s := p.overflow[n-1]
+		p.overflow[n-1] = nil
+		p.overflow = p.overflow[:n-1]
+		p.overflowMu.Unlock()
+		return s
+	}
+	p.overflowMu.Unlock()
+	for i := range p.shards {
+		if i == sid {
+			continue
+		}
+		o := &p.shards[i]
+		o.mu.Lock()
+		if o.n > 0 {
+			o.n--
+			s := o.free[o.n]
+			o.free[o.n] = nil
+			o.mu.Unlock()
+			return s
+		}
+		o.mu.Unlock()
+	}
+	return newSegment[T](p.segCap)
+}
+
+// put recycles a drained segment into the sid shard, spilling to the
+// overflow list, or drops it when both are full or it is not of the
+// pooled capacity. The caller must own the segment exclusively (it has
+// been drained past: no view points at it and no producer can reach it)
+// and must not touch it afterwards.
+func (p *segPool[T]) put(sid int, s *segment[T]) {
+	if len(s.buf) != p.segCap {
+		return
+	}
+	s.reset()
+	sh := &p.shards[sid]
+	sh.mu.Lock()
+	if sh.n < segShardSlots {
+		sh.free[sh.n] = s
+		sh.n++
+		sh.mu.Unlock()
+		return
+	}
+	sh.mu.Unlock()
+	p.overflowMu.Lock()
+	if len(p.overflow) < segOverflowSlots {
+		p.overflow = append(p.overflow, s)
+	}
+	p.overflowMu.Unlock()
+}

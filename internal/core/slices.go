@@ -63,11 +63,14 @@ func (q *Queue[T]) WriteSlice(f *sched.Frame, n int) []T {
 	seg := qv.user.tail
 	start, free := seg.contiguousWritable()
 	if free < int64(n) {
-		size := q.segCap
-		if n > size {
-			size = n
+		var snew *segment[T]
+		if n > q.segCap {
+			// Oversized request: a one-off segment sized to fit, outside
+			// the pool (put drops it again on recycle).
+			snew = newSegment[T](n)
+		} else {
+			snew = q.pool.get(q.pool.shard(f.WorkerID()))
 		}
-		snew := newSegment[T](size)
 		seg.next.Store(snew)
 		qv.user.tail = snew
 		seg = snew

@@ -78,6 +78,33 @@ func (d *D[T]) Push(v T) {
 	d.bottom.Store(b + 1)
 }
 
+// PushBatch adds all of vs at the bottom of the deque, publishing them
+// with a single bottom store: thieves either see none of the batch or a
+// prefix-complete view of it, and the owner pays one release-store for k
+// tasks instead of k. Only the owner may call PushBatch. The scheduler
+// uses it for loop-split spawning (Frame.SpawnN), where a stage publishes
+// a whole wave of tasks at once.
+func (d *D[T]) PushBatch(vs []T) {
+	n := int64(len(vs))
+	if n == 0 {
+		return
+	}
+	b := d.bottom.Load()
+	t := d.top.Load()
+	a := d.array.Load()
+	if b+n-t > a.size {
+		for b+n-t > a.size {
+			a = a.grow(t, b)
+		}
+		d.array.Store(a)
+	}
+	for i := int64(0); i < n; i++ {
+		v := vs[i]
+		a.put(b+i, &v)
+	}
+	d.bottom.Store(b + n)
+}
+
 // Pop removes and returns the most recently pushed value (LIFO). Only the
 // owner may call Pop. ok is false if the deque was empty.
 func (d *D[T]) Pop() (v T, ok bool) {

@@ -39,6 +39,88 @@ func TestStealFIFO(t *testing.T) {
 	}
 }
 
+func TestPushBatchOrder(t *testing.T) {
+	d := New[int](8)
+	d.Push(-1)
+	batch := make([]int, 100)
+	for i := range batch {
+		batch[i] = i
+	}
+	d.PushBatch(batch) // forces grows mid-batch
+	d.PushBatch(nil)   // empty batch is a no-op
+	if d.Len() != 101 {
+		t.Fatalf("Len = %d, want 101", d.Len())
+	}
+	// FIFO steal sees the pre-batch value, then the batch in order.
+	if v, ok := d.Steal(); !ok || v != -1 {
+		t.Fatalf("Steal = %d,%v; want -1,true", v, ok)
+	}
+	for i := 0; i < 50; i++ {
+		if v, ok := d.Steal(); !ok || v != i {
+			t.Fatalf("Steal = %d,%v; want %d,true", v, ok, i)
+		}
+	}
+	// LIFO pop sees the batch tail first.
+	for i := 99; i >= 50; i-- {
+		if v, ok := d.Pop(); !ok || v != i {
+			t.Fatalf("Pop = %d,%v; want %d,true", v, ok, i)
+		}
+	}
+	if _, ok := d.Pop(); ok {
+		t.Fatal("Pop on drained deque returned ok")
+	}
+}
+
+// TestPushBatchConcurrentSteals has thieves hammer the deque while the
+// owner publishes batches: every value must be seen exactly once.
+func TestPushBatchConcurrentSteals(t *testing.T) {
+	d := New[int](8)
+	const batches, per = 200, 16
+	var seen [batches * per]atomic.Int32
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if v, ok := d.Steal(); ok {
+					seen[v].Add(1)
+					continue
+				}
+				select {
+				case <-stop:
+					if v, ok := d.Steal(); ok {
+						seen[v].Add(1)
+						continue
+					}
+					return
+				default:
+				}
+			}
+		}()
+	}
+	batch := make([]int, per)
+	for b := 0; b < batches; b++ {
+		for i := range batch {
+			batch[i] = b*per + i
+		}
+		d.PushBatch(batch)
+	}
+	for d.Len() > 0 {
+		if v, ok := d.Pop(); ok {
+			seen[v].Add(1)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	for i := range seen {
+		if n := seen[i].Load(); n != 1 {
+			t.Fatalf("value %d seen %d times, want exactly once", i, n)
+		}
+	}
+}
+
 func TestGrowPreservesOrder(t *testing.T) {
 	d := New[int](8)
 	const n = 10000 // forces many grows

@@ -4,18 +4,25 @@
 // program generator so that a seed reported by one ("FAIL seed=139") can
 // be replayed by the other.
 //
+// Two generators exist. Generate is the original single-queue generator
+// (push, spawn, pop, drain); its random-stream consumption is frozen —
+// a given seed must keep producing the same program across refactors, or
+// historical failure reports (seed 139) stop being reproducible. Do not
+// reorder or add RNG draws in it. GenerateMulti is the extended
+// generator: programs over several hyperqueues whose tasks additionally
+// Sync mid-body and Call children synchronously, delegating a random
+// privilege subset per queue — the shapes that exercise the sharded
+// queue locks, cross-queue interleavings, and the syncHook fold.
+// GenerateMulti has its own frozen stream identity; a failure report is
+// (generator, seed, queues), never just a seed.
+//
 // A program is a random task tree whose tasks push values, pop or drain
-// the queue, and spawn children with a random subset of their own
+// queues, and spawn children with a random subset of their own
 // privileges. While generating, the serial elision is played alongside:
-// a plain FIFO records which task would consume which values if every
+// plain FIFOs record which task would consume which values if every
 // spawn ran inline. Executing the program on the real runtime at any
 // worker count and segment size must reproduce that oracle exactly —
 // that is the paper's serializability theorem.
-//
-// The generator's random-stream consumption is part of its identity: a
-// given seed must keep producing the same program across refactors, or
-// historical failure reports stop being reproducible. Do not reorder or
-// add RNG draws.
 package qcheck
 
 import (
@@ -31,26 +38,33 @@ const (
 	actSpawn
 	actPopN
 	actDrain
+	actSync
+	actCall
 )
 
 type action struct {
 	kind  int
+	q     int // queue index for push/pop/drain
 	val   int
 	n     int
 	child *task
 }
 
+// task is one node of the generated spawn tree. modes[qi] is the
+// privilege mask the task holds on queue qi: 1=push, 2=pop, 3=both,
+// 0=none (no dependence is passed for that queue).
 type task struct {
-	id   int
-	mode uint8 // 1=push, 2=pop, 3=both
-	acts []action
+	id    int
+	modes []uint8
+	acts  []action
 }
 
 // Program is one generated random program together with its
 // serial-elision oracle: Oracle[taskID] lists the values that task pops,
-// in order.
+// in order, across all queues.
 type Program struct {
 	Seed   uint64
+	Queues int
 	Oracle map[int][]int
 	Tasks  int
 	Values int
@@ -59,23 +73,25 @@ type Program struct {
 
 type generator struct {
 	r       *rng.RNG
+	nq      int
 	nextID  int
 	nextVal int
 	oracle  map[int][]int
-	serialQ []int
+	serialQ [][]int // the serial elision's FIFO content, per queue
 }
 
-// Generate builds the random program for seed. Generation is
-// deterministic: the same seed always yields the same program and
-// oracle.
+// Generate builds the original single-queue random program for seed.
+// Generation is deterministic: the same seed always yields the same
+// program and oracle. The RNG consumption of this function is frozen
+// (see the package comment).
 func Generate(seed uint64) *Program {
-	g := &generator{r: rng.New(seed), oracle: make(map[int][]int)}
+	g := &generator{r: rng.New(seed), nq: 1, oracle: make(map[int][]int), serialQ: make([][]int, 1)}
 	root := g.gen(3, 4)
-	return &Program{Seed: seed, Oracle: g.oracle, Tasks: g.nextID, Values: g.nextVal, root: root}
+	return &Program{Seed: seed, Queues: 1, Oracle: g.oracle, Tasks: g.nextID, Values: g.nextVal, root: root}
 }
 
 func (g *generator) gen(mode uint8, depth int) *task {
-	td := &task{id: g.nextID, mode: mode}
+	td := &task{id: g.nextID, modes: []uint8{mode}}
 	g.nextID++
 	for i, n := 0, 2+g.r.Intn(5); i < n; i++ {
 		switch g.r.Intn(4) {
@@ -85,7 +101,7 @@ func (g *generator) gen(mode uint8, depth int) *task {
 			}
 			for j, k := 0, 1+g.r.Intn(4); j < k; j++ {
 				td.acts = append(td.acts, action{kind: actPush, val: g.nextVal})
-				g.serialQ = append(g.serialQ, g.nextVal)
+				g.serialQ[0] = append(g.serialQ[0], g.nextVal)
 				g.nextVal++
 			}
 		case 1:
@@ -98,25 +114,116 @@ func (g *generator) gen(mode uint8, depth int) *task {
 			}
 			td.acts = append(td.acts, action{kind: actSpawn, child: g.gen(cm, depth-1)})
 		case 2:
-			if mode&2 == 0 || len(g.serialQ) == 0 {
+			if mode&2 == 0 || len(g.serialQ[0]) == 0 {
 				continue
 			}
-			n := 1 + g.r.Intn(len(g.serialQ))
+			n := 1 + g.r.Intn(len(g.serialQ[0]))
 			td.acts = append(td.acts, action{kind: actPopN, n: n})
-			g.oracle[td.id] = append(g.oracle[td.id], g.serialQ[:n]...)
-			g.serialQ = g.serialQ[n:]
+			g.oracle[td.id] = append(g.oracle[td.id], g.serialQ[0][:n]...)
+			g.serialQ[0] = g.serialQ[0][n:]
 		case 3:
 			if mode&2 == 0 {
 				continue
 			}
 			td.acts = append(td.acts, action{kind: actDrain})
-			if len(g.serialQ) > 0 {
-				g.oracle[td.id] = append(g.oracle[td.id], g.serialQ...)
-				g.serialQ = nil
+			if len(g.serialQ[0]) > 0 {
+				g.oracle[td.id] = append(g.oracle[td.id], g.serialQ[0]...)
+				g.serialQ[0] = nil
 			}
 		}
 	}
 	return td
+}
+
+// GenerateMulti builds a random program over the given number of
+// hyperqueues with the extended action set: push bursts and pop/drain on
+// a randomly chosen queue, mid-task Sync, and synchronous Call children
+// alongside Spawn children, each delegated an independent random
+// privilege subset per queue. Deterministic per (seed, queues); the RNG
+// consumption is frozen independently of Generate's.
+func GenerateMulti(seed uint64, queues int) *Program {
+	if queues < 1 {
+		queues = 1
+	}
+	g := &generator{r: rng.New(seed), nq: queues, oracle: make(map[int][]int), serialQ: make([][]int, queues)}
+	modes := make([]uint8, queues)
+	for i := range modes {
+		modes[i] = 3
+	}
+	root := g.genMulti(modes, 4)
+	return &Program{Seed: seed, Queues: queues, Oracle: g.oracle, Tasks: g.nextID, Values: g.nextVal, root: root}
+}
+
+func (g *generator) genMulti(modes []uint8, depth int) *task {
+	td := &task{id: g.nextID, modes: modes}
+	g.nextID++
+	for i, n := 0, 2+g.r.Intn(6); i < n; i++ {
+		switch g.r.Intn(7) {
+		case 0, 1: // push burst on one queue
+			qi := g.r.Intn(g.nq)
+			if modes[qi]&1 == 0 {
+				continue
+			}
+			for j, k := 0, 1+g.r.Intn(4); j < k; j++ {
+				td.acts = append(td.acts, action{kind: actPush, q: qi, val: g.nextVal})
+				g.serialQ[qi] = append(g.serialQ[qi], g.nextVal)
+				g.nextVal++
+			}
+		case 2, 3: // spawn or call a child with a random privilege subset
+			if depth == 0 {
+				continue
+			}
+			kind := actSpawn
+			if g.r.Intn(3) == 0 {
+				kind = actCall
+			}
+			cm := make([]uint8, g.nq)
+			for qi := range cm {
+				cm[qi] = modes[qi] & uint8(g.r.Intn(4))
+			}
+			td.acts = append(td.acts, action{kind: kind, child: g.genMulti(cm, depth-1)})
+		case 4: // pop a bounded number of values from one queue
+			qi := g.r.Intn(g.nq)
+			if modes[qi]&2 == 0 || len(g.serialQ[qi]) == 0 {
+				continue
+			}
+			n := 1 + g.r.Intn(len(g.serialQ[qi]))
+			td.acts = append(td.acts, action{kind: actPopN, q: qi, n: n})
+			g.oracle[td.id] = append(g.oracle[td.id], g.serialQ[qi][:n]...)
+			g.serialQ[qi] = g.serialQ[qi][n:]
+		case 5: // drain one queue to permanent emptiness
+			qi := g.r.Intn(g.nq)
+			if modes[qi]&2 == 0 {
+				continue
+			}
+			td.acts = append(td.acts, action{kind: actDrain, q: qi})
+			if len(g.serialQ[qi]) > 0 {
+				g.oracle[td.id] = append(g.oracle[td.id], g.serialQ[qi]...)
+				g.serialQ[qi] = nil
+			}
+		case 6: // sync: wait for all children spawned so far
+			td.acts = append(td.acts, action{kind: actSync})
+		}
+	}
+	return td
+}
+
+// deps builds the spawn-time dependence list for a child's per-queue
+// privilege masks. Queues the child holds no privilege on get no
+// dependence at all.
+func deps(modes []uint8, qs []*swan.Queue[int]) []swan.Dep {
+	var ds []swan.Dep
+	for qi, m := range modes {
+		switch m {
+		case 1:
+			ds = append(ds, swan.Push(qs[qi]))
+		case 2:
+			ds = append(ds, swan.Pop(qs[qi]))
+		case 3:
+			ds = append(ds, swan.PushPop(qs[qi]))
+		}
+	}
+	return ds
 }
 
 // Execute runs the program on the real runtime with the given worker
@@ -129,39 +236,40 @@ func (p *Program) Execute(workers, segCap int, policy swan.SpawnPolicy) map[int]
 	consumed := make(map[int][]int)
 	var mu sync.Mutex
 	swan.NewWithPolicy(workers, policy).Run(func(f *swan.Frame) {
-		q := swan.NewQueueWithCapacity[int](f, segCap)
+		qs := make([]*swan.Queue[int], p.Queues)
+		for i := range qs {
+			qs[i] = swan.NewQueueWithCapacity[int](f, segCap)
+		}
 		var exec func(f *swan.Frame, td *task)
 		exec = func(f *swan.Frame, td *task) {
 			for _, a := range td.acts {
 				switch a.kind {
 				case actPush:
-					q.Push(f, a.val)
-				case actSpawn:
+					qs[a.q].Push(f, a.val)
+				case actSpawn, actCall:
 					child := a.child
-					var dep swan.Dep
-					switch child.mode {
-					case 1:
-						dep = swan.Push(q)
-					case 2:
-						dep = swan.Pop(q)
-					default:
-						dep = swan.PushPop(q)
+					body := func(c *swan.Frame) { exec(c, child) }
+					if a.kind == actCall {
+						f.Call(body, deps(child.modes, qs)...)
+					} else {
+						f.Spawn(body, deps(child.modes, qs)...)
 					}
-					f.Spawn(func(c *swan.Frame) { exec(c, child) }, dep)
 				case actPopN:
 					for j := 0; j < a.n; j++ {
-						v := q.Pop(f)
+						v := qs[a.q].Pop(f)
 						mu.Lock()
 						consumed[td.id] = append(consumed[td.id], v)
 						mu.Unlock()
 					}
 				case actDrain:
-					for !q.Empty(f) {
-						v := q.Pop(f)
+					for !qs[a.q].Empty(f) {
+						v := qs[a.q].Pop(f)
 						mu.Lock()
 						consumed[td.id] = append(consumed[td.id], v)
 						mu.Unlock()
 					}
+				case actSync:
+					f.Sync()
 				}
 			}
 		}

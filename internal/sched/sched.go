@@ -384,6 +384,96 @@ func (f *Frame) spawn(fn, after func(*Frame), deps []Dep) {
 	f.rt.pool.ensureWorker()
 }
 
+// BatchChild describes one child of a SpawnBatch: its body and its
+// spawn-time dependences.
+type BatchChild struct {
+	Body func(*Frame)
+	Deps []Dep
+}
+
+// SpawnBatch spawns every child in children as if by consecutive Spawn
+// calls — dep Prepare runs synchronously in the parent, in program order,
+// so the serial elision is identical — but publishes the whole wave with
+// one deque tail store (deque.PushBatch) and one worker wake sweep
+// (ensureWorkers) instead of one of each per child. Loop-split pipeline
+// stages that fan out k tasks per popped batch use it to take the
+// scheduler off their critical path.
+func (f *Frame) SpawnBatch(children []BatchChild) {
+	f.spawnBatch(len(children), func(i int) (func(*Frame), []Dep) {
+		return children[i].Body, children[i].Deps
+	})
+}
+
+// SpawnN spawns n children running fn(c, i) for i in [0, n), all gated by
+// the same deps, with batched publication as in SpawnBatch. It is the
+// §5.4 loop-split fan-out shape: "for each of the k items popped this
+// round, spawn a worker task with the same queue privileges".
+func (f *Frame) SpawnN(n int, fn func(*Frame, int), deps ...Dep) {
+	f.spawnBatch(n, func(i int) (func(*Frame), []Dep) {
+		return func(c *Frame) { fn(c, i) }, deps
+	})
+}
+
+func (f *Frame) spawnBatch(n int, child func(i int) (func(*Frame), []Dep)) {
+	if n <= 0 {
+		return
+	}
+	f.mu.Lock()
+	f.live += n
+	f.mu.Unlock()
+	ts := make([]*task, 0, n)
+	prepared := 0
+	defer func() {
+		if prepared == n {
+			return
+		}
+		// A panicking Prepare (a programming error such as the privilege
+		// subset rule): the failing child and the unprepared rest are
+		// unregistered, but the children already fully prepared hold views
+		// and tickets and must still run — publish them before re-raising.
+		f.mu.Lock()
+		f.live -= n - prepared
+		f.cond.Broadcast()
+		f.mu.Unlock()
+		f.publishBatch(ts)
+	}()
+	for i := 0; i < n; i++ {
+		body, deps := child(i)
+		c := newFrame(f.rt, f)
+		f.nspawn++
+		for _, d := range deps {
+			d.Prepare(f, c)
+		}
+		ts = append(ts, &task{frame: c, body: body, deps: deps})
+		prepared++
+	}
+	f.publishBatch(ts)
+}
+
+// publishBatch makes a wave of fully prepared tasks runnable: one
+// PushBatch on the spawning worker's deque and one wake sweep sized to
+// the batch.
+func (f *Frame) publishBatch(ts []*task) {
+	if len(ts) == 0 {
+		return
+	}
+	if f.rt.policy == PolicyGoroutine {
+		for _, t := range ts {
+			go f.rt.runTaskGoroutine(t)
+		}
+		return
+	}
+	if w := f.worker; w != nil {
+		w.dq.PushBatch(ts)
+	} else {
+		for _, t := range ts {
+			f.rt.pool.pushGlobal(t)
+		}
+	}
+	f.rt.pool.stats.Spawns.Add(uint64(len(ts)))
+	f.rt.pool.ensureWorkers(len(ts))
+}
+
 // runTaskGoroutine is the PolicyGoroutine execution path: the seed
 // scheduler's goroutine-per-task protocol, kept as the ablation baseline.
 func (rt *Runtime) runTaskGoroutine(t *task) {
@@ -505,6 +595,19 @@ func (f *Frame) AddSyncHook(fn func()) {
 // queue growth. As the paper warns, use with care: branching on it can
 // violate determinism if the two versions are not observably equivalent.
 func (f *Frame) Parallel() bool { return f.rt.workers > 1 }
+
+// WorkerID returns a small non-negative integer identifying the worker
+// currently executing this frame's task, or 0 when the frame is not bound
+// to a pool worker (the goroutine substrate, or an external Run caller).
+// IDs are stable for the duration of one task body, dense enough to index
+// small sharded caches (the hyperqueue's segment pool shards by it), and
+// never negative. It must only be called from the frame's own goroutine.
+func (f *Frame) WorkerID() int {
+	if f.worker != nil {
+		return f.worker.id
+	}
+	return 0
+}
 
 // Attachment returns the attachment stored under key, or nil.
 // Attachments let dependence implementations hang per-frame state (such

@@ -90,6 +90,7 @@ type pool struct {
 	blocked    int        // tasks inside a Block region
 	activeRuns int        // Run calls in flight; workers exit at zero
 	global     []*task    // injection queue (root tasks, unbound spawns)
+	nextID     int        // worker id allocator (ids are never reused)
 
 	navail  atomic.Int32 // alive - parked - blocked (see above)
 	victims atomic.Pointer[[]*worker]
@@ -145,27 +146,35 @@ func (p *pool) popGlobal() *task {
 // (navail < workers), a worker is woken or started to pick up work. It is
 // called after every deque push, global injection, and Block entry. The
 // fast path is a single atomic load.
-func (p *pool) ensureWorker() {
+func (p *pool) ensureWorker() { p.ensureWorkers(1) }
+
+// ensureWorkers is the batched form: after k tasks were published at
+// once (SpawnN/SpawnBatch via deque.PushBatch), one sweep wakes or starts
+// up to k workers instead of paying the pool lock once per task.
+func (p *pool) ensureWorkers(k int) {
 	if int(p.navail.Load()) >= p.rt.workers {
 		return
 	}
+	if k > p.rt.workers {
+		k = p.rt.workers
+	}
 	p.mu.Lock()
 	// Pending wakeups are workers already on their way back.
-	if int(p.navail.Load())+p.wakeups >= p.rt.workers {
-		p.mu.Unlock()
-		return
-	}
-	if p.parked > p.wakeups {
-		p.wakeups++
-		p.cond.Signal()
-	} else {
-		p.startWorkerLocked()
+	for k > 0 && int(p.navail.Load())+p.wakeups < p.rt.workers {
+		if p.parked > p.wakeups {
+			p.wakeups++
+			p.cond.Signal()
+		} else {
+			p.startWorkerLocked()
+		}
+		k--
 	}
 	p.mu.Unlock()
 }
 
 func (p *pool) startWorkerLocked() {
-	w := &worker{p: p, dq: deque.New[*task](64), rnd: p.seed.Add(0x9e3779b97f4a7c15) | 1}
+	p.nextID++
+	w := &worker{p: p, id: p.nextID, dq: deque.New[*task](64), rnd: p.seed.Add(0x9e3779b97f4a7c15) | 1}
 	p.alive++
 	p.navail.Add(1)
 	p.stats.WorkersStarted.Add(1)
@@ -264,9 +273,12 @@ func (p *pool) park(w *worker) bool {
 
 // worker owns one Chase–Lev deque: it pushes and pops at the bottom
 // (LIFO) and other workers steal from the top (FIFO), which gives thieves
-// the oldest — typically largest — subtree, as in Cilk.
+// the oldest — typically largest — subtree, as in Cilk. The id is a
+// small positive integer that client code (the hyperqueue's segment pool)
+// uses to shard per-worker caches; see Frame.WorkerID.
 type worker struct {
 	p   *pool
+	id  int
 	dq  *deque.D[*task]
 	rnd uint64
 }

@@ -134,7 +134,12 @@ func RunHyperqueue(rt *swan.Runtime, data []byte, blockSize, segCap int) []byte 
 // RunHyperqueueLoopSplit applies the §5.4 queue-loop-split idiom: the
 // block loop is hoisted out of the producer task so that at most
 // batch blocks are queued per round, bounding memory growth when the
-// program executes serially while keeping the same parallelism.
+// program executes serially while keeping the same parallelism. Each
+// round's dispatch task drains its slice of the queue and publishes all
+// of its compression tasks as one batched spawn (Frame.SpawnN): one
+// deque store and one worker wake sweep per round instead of one per
+// block. Output order is unchanged — SpawnN prepares the push
+// privileges in index order, which is pop order.
 func RunHyperqueueLoopSplit(rt *swan.Runtime, data []byte, blockSize, segCap, batch int) []byte {
 	if batch < 1 {
 		batch = 8
@@ -155,12 +160,16 @@ func RunHyperqueueLoopSplit(rt *swan.Runtime, data []byte, blockSize, segCap, ba
 				}
 				blocks = blocks[n:]
 				s12.Spawn(func(c *swan.Frame) {
+					// Only this round's blocks are visible (pushes after
+					// this task's spawn are hidden by rule 4), so the
+					// drain collects at most batch blocks.
+					round := make([][]byte, 0, batch)
 					for !q1.Empty(c) {
-						blk := q1.Pop(c)
-						c.Spawn(func(g *swan.Frame) {
-							q2.Push(g, CompressBlock(blk))
-						}, swan.Push(q2))
+						round = append(round, q1.Pop(c))
 					}
+					c.SpawnN(len(round), func(g *swan.Frame, i int) {
+						q2.Push(g, CompressBlock(round[i]))
+					}, swan.Push(q2))
 				}, swan.Pop(q1), swan.Push(q2))
 			}
 		}, swan.Push(q2))

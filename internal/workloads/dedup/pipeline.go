@@ -166,23 +166,45 @@ func RunHyperqueue(rt *swan.Runtime, data []byte, o Options, segCap int) Result 
 	rt.Run(func(f *swan.Frame) {
 		writeQ := swan.NewQueueWithCapacity[*Chunk](f, segCap)
 		f.Spawn(func(frag *swan.Frame) { // Fragment
-			for _, coarse := range Fragment(data, o) {
-				coarse := coarse
-				// Nested pipeline with a local queue (Fig. 10(c)).
-				q := swan.NewQueueWithCapacity[*Chunk](frag, segCap)
-				frag.Spawn(func(c *swan.Frame) { // FragmentRefine
-					for _, fine := range Refine(coarse, o) {
-						q.Push(c, &Chunk{Data: fine})
-					}
-				}, swan.Push(q))
-				frag.Spawn(func(c *swan.Frame) { // DeduplicateAndCompress (merged, §6.2)
-					for !q.Empty(c) {
-						ch := q.Pop(c)
-						Deduplicate(ch, store, o.DedupRounds)
-						Compress(ch)
-						writeQ.Push(c, ch)
-					}
-				}, swan.Pop(q), swan.Push(writeQ))
+			// Each coarse chunk gets a nested two-stage pipeline (Fig.
+			// 10(c)); coarseBatch pipelines are published per batched
+			// spawn — one deque store and one wake sweep for 2×coarseBatch
+			// tasks. Prepare still runs per child in program order, so
+			// writeQ's push-privilege order (and thus the output stream)
+			// is identical to the unbatched loop.
+			const coarseBatch = 4
+			coarses := Fragment(data, o)
+			for len(coarses) > 0 {
+				n := coarseBatch
+				if n > len(coarses) {
+					n = len(coarses)
+				}
+				children := make([]swan.BatchChild, 0, 2*n)
+				for _, coarse := range coarses[:n] {
+					coarse := coarse
+					// Nested pipeline with a local queue (Fig. 10(c)).
+					q := swan.NewQueueWithCapacity[*Chunk](frag, segCap)
+					children = append(children, swan.BatchChild{
+						Body: func(c *swan.Frame) { // FragmentRefine
+							for _, fine := range Refine(coarse, o) {
+								q.Push(c, &Chunk{Data: fine})
+							}
+						},
+						Deps: []swan.Dep{swan.Push(q)},
+					}, swan.BatchChild{
+						Body: func(c *swan.Frame) { // DeduplicateAndCompress (merged, §6.2)
+							for !q.Empty(c) {
+								ch := q.Pop(c)
+								Deduplicate(ch, store, o.DedupRounds)
+								Compress(ch)
+								writeQ.Push(c, ch)
+							}
+						},
+						Deps: []swan.Dep{swan.Pop(q), swan.Push(writeQ)},
+					})
+				}
+				coarses = coarses[n:]
+				frag.SpawnBatch(children)
 			}
 		}, swan.Push(writeQ))
 		f.Spawn(func(c *swan.Frame) { // Output

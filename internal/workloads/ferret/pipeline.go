@@ -196,10 +196,25 @@ func RunHyperqueue(rt *swan.Runtime, c *Corpus, p Params, segCap int) *Output {
 				c.Root.Walk(func(id int) { imgQ.Push(g, c.LoadImage(id)) })
 			}, swan.Push(imgQ))
 			mid.Spawn(func(g *swan.Frame) { // dispatch middle stages
+				// Batched fan-out: take the head image (blocking — Empty
+				// has settled that one exists), opportunistically gather
+				// up to dispatchBatch-1 more that are already queued, and
+				// publish the whole wave of Process tasks with one
+				// batched spawn. Result order is unchanged: SpawnN
+				// prepares the outQ push privileges in index order.
+				const dispatchBatch = 8
 				for !imgQ.Empty(g) {
-					img := imgQ.Pop(g)
-					g.Spawn(func(h *swan.Frame) {
-						outQ.Push(h, Process(img, p, c.DB))
+					batch := make([]*Image, 1, dispatchBatch)
+					batch[0] = imgQ.Pop(g)
+					for len(batch) < dispatchBatch {
+						img, ok := imgQ.TryPop(g)
+						if !ok {
+							break
+						}
+						batch = append(batch, img)
+					}
+					g.SpawnN(len(batch), func(h *swan.Frame, i int) {
+						outQ.Push(h, Process(batch[i], p, c.DB))
 					}, swan.Push(outQ))
 				}
 			}, swan.Pop(imgQ), swan.Push(outQ))

@@ -68,6 +68,16 @@ type Frame = sched.Frame
 // Pop, PushPop) or a versioned-object access mode (In, Out, InOut).
 type Dep = sched.Dep
 
+// BatchChild is one child of a Frame.SpawnBatch: a body plus its
+// spawn-time dependences. SpawnBatch — and its uniform-deps form
+// SpawnN — spawns a whole wave of children with one scheduler
+// publication (a single deque tail store and one worker wake sweep)
+// while keeping the serial elision identical to consecutive Spawn
+// calls. Pipeline stages that fan out k worker tasks per popped batch
+// (the §5.4 loop-split idiom) use it to take spawn overhead off their
+// critical path.
+type BatchChild = sched.BatchChild
+
 // Queue is a hyperqueue of values of type T (paper §2–§4).
 type Queue[T any] = core.Queue[T]
 
