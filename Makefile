@@ -4,11 +4,11 @@ GO ?= go
 
 # bench-json knobs: which benchmarks make up the recorded perf set, how
 # long to run each, and where the JSON lands.
-BENCH_SET  ?= SteadyStateAllocs|PrepareCompleteContention|BatchedSpawn|AblationSchedulerSubstrate|AblationSegmentSize|AblationQueueVsChannel
+BENCH_SET  ?= SteadyStateAllocs|QueueChurn|PrepareCompleteContention|BatchedSpawn|AblationSchedulerSubstrate|AblationSegmentSize|AblationQueueVsChannel
 BENCH_TIME ?= 300ms
-BENCH_OUT  ?= BENCH_pr3.json
+BENCH_OUT  ?= BENCH_pr4.json
 
-.PHONY: all build vet fmt-check test race bench-smoke bench-json quickcheck ci
+.PHONY: all build vet fmt-check test race bench-smoke bench-json quickcheck docs ci
 
 all: build
 
@@ -56,4 +56,9 @@ quickcheck:
 	REPRO_SCHED=goroutine $(GO) run ./cmd/quickcheck -n 100 -queues 2
 	$(GO) test -race -count=3 -run 'Regression' ./internal/core
 
-ci: build vet fmt-check test race bench-smoke quickcheck
+# Documentation is executable: the swan Example functions are the code
+# samples README/ARCHITECTURE point at, and running them catches doc rot.
+docs:
+	$(GO) test -run Example -v ./swan
+
+ci: build vet fmt-check test race bench-smoke quickcheck docs

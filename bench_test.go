@@ -381,6 +381,60 @@ func BenchmarkSteadyStateAllocs(b *testing.B) {
 	})
 }
 
+// --- Queue churn: runtime-wide pool + queue recycling --------------------
+
+// BenchmarkQueueChurn measures the queue *lifecycle* cost dedup's
+// per-coarse-chunk pipelines pay: each op runs one
+// create→use→drain→recycle cycle (three segments' worth of values, so
+// every cycle exercises overflow links and drain-past recycling).
+// mode=fresh is the pre-recycling dedup shape: a long-lived owner frame
+// constructs a new queue per cycle and abandons it — which does not make
+// it garbage, because the owner retains the frame attachment and sync
+// hook of every queue it ever created, and each abandoned queue strands
+// its final open-tail segment (so the shared pool drains by one segment
+// per cycle and steady state re-pays one segment allocation per op on
+// top of the queue structure). mode=recycle reuses one queue via
+// Queue.Recycle and must converge to 0 allocs/op; CI gates on both
+// (recycle at zero, fresh against the committed BENCH_pr4.json
+// baseline).
+func BenchmarkQueueChurn(b *testing.B) {
+	const segCap, values = 64, 3 * 64
+	cycle := func(f *sched.Frame, q *core.Queue[int]) {
+		for i := 0; i < values; i++ {
+			q.Push(f, i)
+		}
+		for !q.Empty(f) {
+			q.Pop(f)
+		}
+	}
+	b.Run("mode=fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		rt := sched.New(2)
+		rt.Run(func(f *sched.Frame) {
+			cycle(f, core.NewWithCapacity[int](f, segCap)) // warm the pool
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cycle(f, core.NewWithCapacity[int](f, segCap))
+			}
+			b.StopTimer()
+		})
+	})
+	b.Run("mode=recycle", func(b *testing.B) {
+		b.ReportAllocs()
+		rt := sched.New(2)
+		rt.Run(func(f *sched.Frame) {
+			q := core.NewWithCapacity[int](f, segCap)
+			cycle(f, q) // warm the pool
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q.Recycle(f)
+				cycle(f, q)
+			}
+			b.StopTimer()
+		})
+	})
+}
+
 // --- Ablation: sharded queue locks vs legacy single mutex ----------------
 
 // BenchmarkPrepareCompleteContention measures the structural hot path the

@@ -17,9 +17,11 @@
 // -queues 1 (the default) programs come from the original frozen
 // generator, so historical seed reports stay reproducible; -queues 2 or
 // higher switches to the extended multi-queue generator (qcheck
-// GenerateMulti), whose programs also Sync mid-task and Call children
-// synchronously, covering cross-queue interleavings — a failure there is
-// reported as (seed, queues). The scheduling substrate follows
+// GenerateMulti), whose programs also Sync mid-task, Call children
+// synchronously, and consume through Empty-guarded TryPop and
+// ReadSlice/ConsumeRead runs — covering cross-queue interleavings, the
+// §5.2 slice interface, and the lock-free consumer miss path — a failure
+// there is reported as (seed, queues). The scheduling substrate follows
 // REPRO_SCHED ("steal" or "goroutine"). Exit status 0 means every
 // program behaved exactly like its serial elision.
 package main
@@ -38,7 +40,7 @@ func main() {
 	n := flag.Int("n", 200, "number of random programs")
 	seed := flag.Uint64("seed", 1, "base seed")
 	workers := flag.Int("workers", 0, "worker count to test (0 = sweep 1, 2 and NumCPU)")
-	queues := flag.Int("queues", 1, "hyperqueues per program (1 = original frozen generator, >1 = multi-queue generator with Sync/Call actions)")
+	queues := flag.Int("queues", 1, "hyperqueues per program (1 = original frozen generator, >1 = multi-queue generator with Sync/Call/TryPop/ReadSlice actions)")
 	verbose := flag.Bool("v", false, "log each program")
 	flag.Parse()
 

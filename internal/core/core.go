@@ -8,8 +8,12 @@
 // The implementation follows §3–§4 of the paper:
 //
 //   - the underlying storage is a linked chain of fixed-size SPSC ring
-//     segments (segment.go), recycled through a sharded free-list pool
-//     (segpool.go) so the steady state allocates nothing;
+//     segments (segment.go), recycled through a runtime-wide sharded
+//     free-list pool (segpool.go, one PoolProvider per sched.Runtime,
+//     one pool per element type and segment capacity) so the steady
+//     state allocates nothing and short-lived queues start on warm
+//     segments; a fully-drained quiescent queue can itself be reset and
+//     reused via Recycle;
 //   - partial chains are tracked by views with local/non-local ends and
 //     combined with split and reduce (view.go);
 //   - every task holding privileges on a queue carries the view set
@@ -85,10 +89,15 @@
 //     producer holding a local tail pointer to it, segment.head only by
 //     the consumer-role holder (invariants 5 and 2 below).
 //   - Atomics: Queue.waiters (producers read it lock-free to skip the
-//     wake-up lock), qviews.popServed (advanced by completing pop
-//     children, read by ticket gates), qviews.popTickets (written only
-//     by the owning frame's goroutine during Prepare, atomic for the
-//     benefit of readers), segment.head/tail/next (SPSC ring and chain
+//     wake-up lock), Queue.everProducer (set under regMu when the first
+//     push-privileged task registers, read lock-free by the
+//     TryPop/ReadSlice miss path to skip the locked frontier fold,
+//     cleared only by Recycle), Queue.consMuAcquires (a debug-mode
+//     counter of consMu acquisitions, read by the lock-free fast-path
+//     tests), qviews.popServed (advanced by completing pop children,
+//     read by ticket gates), qviews.popTickets (written only by the
+//     owning frame's goroutine during Prepare, atomic for the benefit of
+//     readers), segment.head/tail/next (SPSC ring and chain
 //     publication), and the debugChecks flag.
 //   - Queue.consShard is a plain int written and read only by the
 //     consumer-role holder; role handoff happens-before through the

@@ -56,6 +56,10 @@ func (d queueDep[T]) Prepare(parent, child *sched.Frame) {
 	pqv.childTail = cqv
 	if d.mode&ModePush != 0 {
 		q.producers[child] = struct{}{}
+		// Once any producer registers, TryPop/ReadSlice misses must run
+		// the locked frontier fold (values may travel through deposited
+		// views); the flag stays set until Recycle rearms the queue.
+		q.everProducer.Store(true)
 	}
 	q.unlockReg()
 
@@ -75,7 +79,7 @@ func (d queueDep[T]) Wait(child *sched.Frame) {
 	if cqv.parentQV.popServed.Load() == cqv.popTicket {
 		return
 	}
-	q.consMu.Lock()
+	q.lockCons()
 	for cqv.parentQV.popServed.Load() != cqv.popTicket {
 		q.cond.Wait()
 	}
@@ -138,7 +142,7 @@ func (d queueDep[T]) Complete(parent, child *sched.Frame) {
 	// Wake ticket waiters and consumers blocked in Empty/Pop — and, when
 	// this completion retired the last producer ordered before a parked
 	// consumer, link the frontier on its behalf first.
-	q.consMu.Lock()
+	q.lockCons()
 	if pc := q.parked; pc != nil {
 		q.lockRegNested()
 		if !q.visibleProducerLive(pc.frame) {

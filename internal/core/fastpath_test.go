@@ -1,0 +1,179 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+)
+
+// These tests pin the lock-free TryPop/ReadSlice miss path: while no
+// producer was ever registered on a queue, a miss must be decided from
+// the chain walk alone, without acquiring the consumer lock. The debug
+// counter (consMuAcquires, maintained because TestMain enables debug
+// checks for this binary) turns "without acquiring" into an assertion.
+
+// TestTryPopMissLockFree asserts that hits and misses of TryPop and
+// ReadSlice on a never-had-a-producer queue acquire consMu zero times.
+func TestTryPopMissLockFree(t *testing.T) {
+	rt := sched.New(1)
+	rt.Run(func(f *sched.Frame) {
+		q := NewWithCapacity[int](f, 4)
+		for i := 0; i < 6; i++ {
+			q.Push(f, i)
+		}
+		base := q.DebugConsLockAcquires()
+		for i := 0; i < 6; i++ {
+			if v, ok := q.TryPop(f); !ok || v != i {
+				t.Fatalf("TryPop = %d,%v, want %d,true", v, ok, i)
+			}
+		}
+		for i := 0; i < 32; i++ {
+			if _, ok := q.TryPop(f); ok {
+				t.Fatal("TryPop on a drained queue returned a value")
+			}
+			if s := q.ReadSlice(f, 8); len(s) != 0 {
+				t.Fatalf("ReadSlice on a drained queue returned %d values", len(s))
+			}
+		}
+		if got := q.DebugConsLockAcquires() - base; got != 0 {
+			t.Errorf("TryPop/ReadSlice on a producer-less queue acquired consMu %d times, want 0", got)
+		}
+	})
+}
+
+// TestTryPopMissLockFreeAfterPopChildren is the distilled regression for
+// the fast path's correctness argument: the owner pushes while pop
+// children are live, so its values travel through right-view deposits —
+// the shape whose physical links materialize only at the children's
+// completion deposits. A later consumer must still see every value with
+// the miss path never taking consMu (no producer was ever registered:
+// the owner is not in the registry).
+func TestTryPopMissLockFreeAfterPopChildren(t *testing.T) {
+	for _, drain := range []bool{true, false} {
+		name := map[bool]string{true: "child-drains", false: "child-idle"}[drain]
+		t.Run(name, func(t *testing.T) {
+			rt := sched.New(2)
+			rt.Run(func(f *sched.Frame) {
+				q := NewWithCapacity[int](f, 1)
+				f.Spawn(func(c *sched.Frame) {
+					if drain {
+						// Sees nothing: every push below is ordered after it.
+						for !q.Empty(c) {
+							t.Error("pop child observed a value ordered after it")
+							q.Pop(c)
+						}
+					}
+				}, Pop(q))
+				// The child took the owner's user view, so these pushes open
+				// a fresh segment chain deposited toward the child's right
+				// view — physically dangling until the child completes.
+				q.Push(f, 10)
+				q.Push(f, 11)
+				q.SyncPop(f) // wait for the pop child (§5.5 selective sync)
+				base := q.DebugConsLockAcquires()
+				var got []int
+				for {
+					v, ok := q.TryPop(f)
+					if !ok {
+						break
+					}
+					got = append(got, v)
+				}
+				if s := q.ReadSlice(f, 4); len(s) != 0 {
+					t.Errorf("ReadSlice after the drain returned %d values", len(s))
+				}
+				if got := q.DebugConsLockAcquires() - base; got != 0 {
+					t.Errorf("drain acquired consMu %d times, want 0", got)
+				}
+				if len(got) != 2 || got[0] != 10 || got[1] != 11 {
+					t.Fatalf("owner drained %v, want [10 11] (deposited values invisible to the lock-free miss path)", got)
+				}
+				f.Sync()
+			})
+		})
+	}
+}
+
+// TestTryPopRegisteredProducerStillFolds is the guard rail around the
+// fast path: the moment a producer registers, misses must go back
+// through the locked frontier fold — a TryPop miss here would otherwise
+// wrongly report emptiness while the completed producer's values sit in
+// un-folded deposited views (the seed-139 bug class).
+func TestTryPopRegisteredProducerStillFolds(t *testing.T) {
+	rt := sched.New(2)
+	rt.Run(func(f *sched.Frame) {
+		q := NewWithCapacity[int](f, 1)
+		// X takes the owner's user view to its grave, so A's pushes below
+		// land in a dangling chain that only the fold can surface.
+		f.Spawn(func(c *sched.Frame) {}, Push(q))
+		f.Spawn(func(a *sched.Frame) {
+			a.Spawn(func(b *sched.Frame) {}, Pop(q))
+			q.Push(a, 10)
+			var got []int
+			for len(got) < 1 {
+				if v, ok := q.TryPop(a); ok {
+					got = append(got, v)
+				}
+			}
+			if got[0] != 10 {
+				t.Errorf("TryPop surfaced %v, want [10]", got)
+			}
+		}, PushPop(q))
+		f.Sync()
+	})
+}
+
+// TestTryPopConcurrentOwnerPushes races a sequence of pop children
+// against the owner's pushes on a producer-less queue (run under -race
+// in CI). Each child drains every value ordered before it through
+// Empty-guarded TryPops (Empty returning false guarantees the next
+// TryPop hits), then issues extra lock-free misses that race the owner's
+// pushes of later-ordered values. Consumer serialization makes the drain
+// positions deterministic across all interleavings.
+func TestTryPopConcurrentOwnerPushes(t *testing.T) {
+	rt := sched.New(4)
+	rt.Run(func(f *sched.Frame) {
+		q := NewWithCapacity[int](f, 2)
+		pushed := 0
+		next := 0 // touched only by the serialized consumers, in order
+		for round := 0; round < 8; round++ {
+			f.Spawn(func(c *sched.Frame) {
+				for !q.Empty(c) {
+					v, ok := q.TryPop(c)
+					if !ok {
+						t.Error("TryPop missed immediately after Empty reported false")
+						break
+					}
+					if v != next {
+						t.Errorf("consumed %d at position %d", v, next)
+					}
+					next++
+				}
+				// Post-drain misses: decided lock-free while the owner may
+				// concurrently push values ordered after this child.
+				for i := 0; i < 16; i++ {
+					if _, ok := q.TryPop(c); ok {
+						t.Error("TryPop observed a value ordered after the child")
+					}
+					if s := q.ReadSlice(c, 4); len(s) != 0 {
+						t.Error("ReadSlice observed a value ordered after the child")
+					}
+				}
+			}, Pop(q))
+			for i := 0; i < 3; i++ {
+				q.Push(f, pushed)
+				pushed++
+			}
+		}
+		f.Sync()
+		for !q.Empty(f) {
+			if v := q.Pop(f); v != next {
+				t.Fatalf("owner popped %d at position %d", v, next)
+			}
+			next++
+		}
+		if next != pushed {
+			t.Fatalf("consumers drained %d values, want %d", next, pushed)
+		}
+	})
+}

@@ -85,7 +85,7 @@ func (v InvariantViolation) String() string {
 // be called from the owner frame's goroutine with no concurrently
 // running tasks on the queue (a quiescent point such as after Sync).
 func (q *Queue[T]) CheckInvariants(f *sched.Frame) []InvariantViolation {
-	q.consMu.Lock()
+	q.lockCons()
 	defer q.consMu.Unlock()
 	q.lockRegNested()
 	defer q.unlockRegNested()

@@ -78,6 +78,17 @@ type Queue[T any] struct {
 	// consShard caches the consumer-role holder's segment-pool shard for
 	// the recycle in reachableData (written in acquireConsumer).
 	consShard int
+	// everProducer is set (and never cleared, except by Recycle) when a
+	// push-privileged task is registered. While it is false, every value
+	// in the queue was pushed by the owner frame itself, whose pushes
+	// extend — or whose completed pop children's deposits physically
+	// relink — the head chain, so TryPop/ReadSlice can decide a miss
+	// lock-free from the chain walk alone (see tryReachable).
+	everProducer atomic.Bool
+	// consMuAcquires counts consMu acquisitions while debug checks are
+	// enabled; the lock-free fast-path regression tests assert on it. Not
+	// touched when debug checks are off.
+	consMuAcquires atomic.Uint64
 
 	// Producer-registry state.
 	regMu sync.Mutex
@@ -86,7 +97,10 @@ type Queue[T any] struct {
 	producers map[*sched.Frame]struct{}
 	nlctr     uint64 // non-local pair id allocator
 
-	pool segPool[T]
+	// pool is the runtime-wide segment pool for this queue's element type
+	// and segment capacity, resolved through the runtime's PoolProvider
+	// at construction. Shared with every other such queue of the runtime.
+	pool *segPool[T]
 
 	owner   *sched.Frame
 	ownerQV *qviews[T]
@@ -141,7 +155,9 @@ func New[T any](f *sched.Frame) *Queue[T] { return NewWithCapacity[T](f, Default
 // hold segCap values each (§5.1, queue segment length tuning). The
 // initial segment is created immediately (invariant 1) and the queue and
 // user views are formed by splitting the local view on it (§4.1). The
-// queue's segment pool is sized for the runtime's worker count.
+// queue draws its segments from the runtime-wide pool shared by every
+// queue of the same element type and segment capacity (PoolProvider), so
+// even a freshly constructed queue starts on recycled segments.
 func NewWithCapacity[T any](f *sched.Frame, segCap int) *Queue[T] {
 	return newQueue[T](f, segCap, false)
 }
@@ -161,8 +177,8 @@ func newQueue[T any](f *sched.Frame, segCap int, legacy bool) *Queue[T] {
 	}
 	q := &Queue[T]{segCap: segCap, legacy: legacy, owner: f, producers: make(map[*sched.Frame]struct{})}
 	q.cond = sync.NewCond(&q.consMu)
-	q.pool.init(f.Runtime().Workers(), segCap)
-	s0 := newSegment[T](segCap)
+	q.pool = poolFor[T](ProviderOf(f.Runtime()), segCap)
+	s0 := q.pool.get(q.pool.shard(f.WorkerID()))
 	qv := &qviews[T]{q: q, frame: f, mode: ModePushPop}
 	q.nlctr++
 	q.headView, qv.user = split(s0, q.nlctr)
@@ -172,12 +188,28 @@ func newQueue[T any](f *sched.Frame, segCap int, legacy bool) *Queue[T] {
 	return q
 }
 
+// lockCons acquires the consumer-side lock. With debug checks enabled it
+// also counts the acquisition, so the regression tests for the lock-free
+// TryPop/ReadSlice miss path can assert that path never reaches here.
+func (q *Queue[T]) lockCons() {
+	if debugChecks.Load() {
+		q.consMuAcquires.Add(1)
+	}
+	q.consMu.Lock()
+}
+
+// DebugConsLockAcquires reports how many times the consumer-side lock
+// has been acquired while debug checks were enabled. Zero-delta windows
+// around TryPop/ReadSlice misses are what the lock-free fast-path tests
+// assert.
+func (q *Queue[T]) DebugConsLockAcquires() uint64 { return q.consMuAcquires.Load() }
+
 // lockReg acquires the producer-registry lock — consMu itself in legacy
 // single-mutex mode. The caller must not hold consMu (use lockRegNested
 // for that).
 func (q *Queue[T]) lockReg() {
 	if q.legacy {
-		q.consMu.Lock()
+		q.lockCons()
 	} else {
 		q.regMu.Lock()
 	}
@@ -326,7 +358,7 @@ func (q *Queue[T]) wakeConsumer() {
 	if q.legacy {
 		// Legacy single-mutex behavior: every push takes the queue lock
 		// to test for waiters.
-		q.consMu.Lock()
+		q.lockCons()
 		if q.waiters.Load() > 0 {
 			q.cond.Broadcast()
 		}
@@ -336,7 +368,7 @@ func (q *Queue[T]) wakeConsumer() {
 	if q.waiters.Load() == 0 {
 		return
 	}
-	q.consMu.Lock()
+	q.lockCons()
 	q.cond.Broadcast()
 	q.consMu.Unlock()
 }
@@ -373,7 +405,7 @@ func (q *Queue[T]) visibleProducerLive(cf *sched.Frame) bool {
 func (q *Queue[T]) acquireConsumer(f *sched.Frame, qv *qviews[T]) {
 	if qv.popServed.Load() != qv.popTickets.Load() {
 		f.Block(func() {
-			q.consMu.Lock()
+			q.lockCons()
 			for qv.popServed.Load() != qv.popTickets.Load() {
 				q.cond.Wait()
 			}
@@ -446,7 +478,10 @@ func (q *Queue[T]) reachableData() bool {
 // the serial frontier share one split, restoring invariant 3 and letting
 // the consumer's next push extend the chain in place.
 func (q *Queue[T]) linkFrontier(qv *qviews[T]) {
-	var path []*qviews[T]
+	// The spawn path is almost always shallow; a small stack buffer keeps
+	// the fold allocation-free (Recycle runs it on the churn hot loop).
+	var pathBuf [16]*qviews[T]
+	path := pathBuf[:0]
 	for p := qv; p != nil; p = p.parentQV {
 		path = append(path, p)
 	}
@@ -501,7 +536,7 @@ func (q *Queue[T]) emptyWait(f *sched.Frame, qv *qviews[T]) bool {
 	}
 	var empty bool
 	var violation string
-	q.consMu.Lock()
+	q.lockCons()
 	q.lockRegNested()
 	if !q.visibleProducerLive(f) {
 		empty, violation = q.decideEmptyLocked(qv)
@@ -521,7 +556,7 @@ func (q *Queue[T]) emptyWait(f *sched.Frame, qv *qviews[T]) bool {
 		}
 	}
 	f.Block(func() {
-		q.consMu.Lock()
+		q.lockCons()
 		q.waiters.Add(1)
 		q.parked = qv
 		for {
@@ -595,12 +630,35 @@ func (q *Queue[T]) TryPop(f *sched.Frame) (T, bool) {
 // live producer precedes the consumer). In that safe case a false
 // answer is as strong as a true Empty — no preceding value exists — so
 // the same no-hidden-data assertion applies under debug checks.
+//
+// When no producer was ever registered on the queue, the miss is decided
+// without taking any lock. The frontier fold exists to materialize
+// physical next links for values that traveled through deposited views,
+// and only registered (push-privileged, non-owner) tasks can leave such
+// values dangling at a moment they are visible to the consumer: the
+// owner is the sole unregistered pusher, and its pushes either extend
+// the chain in place (its user view holds the open tail) or land in a
+// fresh segment deposited toward a live pop child — a segment that is
+// ordered after that child (§2.3 rule 4, hence correctly invisible to
+// it) and that is physically linked by the child's own completion
+// deposit (reduce of two local ends) before any later consumer can
+// acquire the role (consumer serialization orders the completion before
+// the handoff). So with the registry forever empty, every value ordered
+// before the current consumer-role holder is already reachable from the
+// head chain, and a failed chain walk is a definitive miss. A producer
+// registered concurrently with the probe can only be ordered after the
+// consumer (tasks ordered before it have completed or are the consumer's
+// ancestors, whose later spawns follow it in program order), so the race
+// on everProducer is benign.
 func (q *Queue[T]) tryReachable(f *sched.Frame, qv *qviews[T]) bool {
 	if q.reachableData() {
 		return true
 	}
+	if !q.everProducer.Load() {
+		return false
+	}
 	var violation string
-	q.consMu.Lock()
+	q.lockCons()
 	q.lockRegNested()
 	if !q.visibleProducerLive(f) {
 		q.linkFrontier(qv)
@@ -626,3 +684,89 @@ func (q *Queue[T]) SyncPop(f *sched.Frame) {
 
 // SegmentCapacity reports the configured segment length.
 func (q *Queue[T]) SegmentCapacity() int { return q.segCap }
+
+// CanRecycle reports whether Recycle would find the queue quiescent for
+// owner frame f: every task ever granted privileges on the queue has
+// completed and deposited its views back. It does not check that the
+// queue is drained — Recycle itself verifies that and panics otherwise.
+// Quiescence is stable: only f can grant new privileges, so a true
+// answer remains true until f spawns again. The probe is cheap (two
+// atomic loads plus one registry-lock check) and safe to poll from the
+// owner while other pipelines run; churny callers (dedup's per-chunk
+// pipelines) use it to pick a reusable queue out of their in-flight set.
+func (q *Queue[T]) CanRecycle(f *sched.Frame) bool {
+	qv := q.viewsOf(f)
+	if qv == nil || qv.parentQV != nil {
+		return false
+	}
+	if qv.popServed.Load() != qv.popTickets.Load() {
+		return false
+	}
+	q.lockReg()
+	ok := len(q.producers) == 0 && qv.childHead == nil
+	q.unlockReg()
+	return ok
+}
+
+// Recycle resets a fully-drained, quiescent queue in place so the owner
+// can run another pipeline instance through it without paying the
+// construction cost again: every segment of the chain is returned to the
+// runtime-wide pool, a pooled segment is split into fresh queue and user
+// views (exactly as in NewWithCapacity), and the producer registry is
+// rearmed — including the never-had-a-producer state that enables the
+// lock-free TryPop/ReadSlice miss path.
+//
+// Only the owning task (the frame that created the queue) may call it,
+// at a point where every task granted privileges has completed — after a
+// Sync covering all of them, or when CanRecycle reports true. Recycle
+// panics if a privilege-holding task is still live or if any value
+// remains in the queue (recycling would silently drop it); drain the
+// queue to permanent emptiness first. The owner's views, sync hook and
+// frame attachment are retained, so a recycled queue costs no per-reuse
+// allocations at all.
+func (q *Queue[T]) Recycle(f *sched.Frame) {
+	qv := q.mustViews(f, ModePushPop)
+	if qv.parentQV != nil {
+		panic("hyperqueue: only the owning task may Recycle a queue")
+	}
+	q.lockCons()
+	q.lockRegNested()
+	switch {
+	case len(q.producers) > 0:
+		q.unlockRegNested()
+		q.consMu.Unlock()
+		panic("hyperqueue: Recycle while push-privileged tasks are live")
+	case qv.childHead != nil:
+		q.unlockRegNested()
+		q.consMu.Unlock()
+		panic("hyperqueue: Recycle while tasks holding privileges on the queue are live")
+	case qv.popServed.Load() != qv.popTickets.Load():
+		q.unlockRegNested()
+		q.consMu.Unlock()
+		panic("hyperqueue: Recycle before all pop-privileged tasks completed")
+	}
+	// Fold every deposited view into the head chain (no producer is live,
+	// so the §4.5 frontier fold covers everything), then verify the chain
+	// holds no data before releasing it.
+	q.linkFrontier(qv)
+	for s := q.headView.head; s != nil; s = s.next.Load() {
+		if s.size() > 0 {
+			q.unlockRegNested()
+			q.consMu.Unlock()
+			panic("hyperqueue: Recycle on a non-empty queue (drain it to permanent emptiness first)")
+		}
+	}
+	sid := q.pool.shard(f.WorkerID())
+	for s := q.headView.head; s != nil; {
+		next := s.next.Load()
+		q.pool.put(sid, s) // resets the segment; drops oversized ones
+		s = next
+	}
+	s0 := q.pool.get(sid)
+	q.nlctr++
+	q.headView, qv.user = split(s0, q.nlctr)
+	qv.children, qv.right = emptyView[T](), emptyView[T]()
+	q.everProducer.Store(false)
+	q.unlockRegNested()
+	q.consMu.Unlock()
+}

@@ -183,12 +183,14 @@ func TestRegressionQuickcheckSweep(t *testing.T) {
 }
 
 // TestRegressionMultiQueueSweep sweeps the extended generator — programs
-// over several hyperqueues whose tasks also Sync mid-body and Call
-// children synchronously — under both scheduling substrates. This is the
-// coverage the single-queue generator cannot provide: cross-queue
+// over several hyperqueues whose tasks also Sync mid-body, Call children
+// synchronously, and consume through Empty-guarded TryPop and
+// ReadSlice/ConsumeRead runs — under both scheduling substrates. This is
+// the coverage the single-queue generator cannot provide: cross-queue
 // privilege delegation, a consumer of one queue producing into another,
-// and the syncHook children-view fold firing between actions, all
-// against the sharded-lock queue.
+// the syncHook children-view fold firing between actions, and the
+// lock-free non-blocking consumer miss path, all against the
+// sharded-lock queue.
 func TestRegressionMultiQueueSweep(t *testing.T) {
 	seeds := 60
 	if testing.Short() {

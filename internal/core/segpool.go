@@ -1,12 +1,93 @@
 package core
 
-import "sync"
+import (
+	"sync"
+
+	"repro/internal/sched"
+)
+
+// This file implements the two layers of segment recycling:
+//
+//   - segPool is one sharded free list of segments of a single element
+//     type and capacity;
+//   - PoolProvider is the runtime-wide registry of segPools, stored once
+//     per sched.Runtime (via Runtime.Shared), so that every queue the
+//     runtime ever creates with the same element type and segment
+//     capacity draws from the same free lists.
+//
+// Before PR 4 each Queue owned a private segPool, which made the steady
+// state of one long-lived queue allocation-free but re-paid the full
+// segment-allocation cost for every queue a churn-heavy program creates
+// (dedup builds one short-lived queue per coarse chunk). With the
+// provider, a recycled queue's segments outlive the queue: the next
+// pipeline instance — whether it reuses the Queue via Recycle or
+// constructs a fresh one — starts on warm segments.
+
+// providerKey is the Runtime.Shared key under which the one PoolProvider
+// of a runtime lives.
+type providerKey struct{}
+
+// poolKey identifies one segPool inside a provider: the element type
+// (carried by the generic instantiation) and the segment capacity. Only
+// queues agreeing on both can exchange segments.
+type poolKey[T any] struct{ segCap int }
+
+// PoolProvider is the per-runtime segment-pool registry. The runtime
+// owns exactly one (lazily created by the first queue); queues resolve
+// their segPool through it at construction time, so pools — and the
+// segments cached in them — are shared across all queues of the runtime
+// with the same element type and segment capacity.
+type PoolProvider struct {
+	workers int
+
+	mu    sync.Mutex
+	pools map[any]any // poolKey[T] -> *segPool[T]
+}
+
+// ProviderOf returns the runtime's segment-pool provider, creating it on
+// first use. All queues created on rt share this provider.
+func ProviderOf(rt *sched.Runtime) *PoolProvider {
+	return rt.Shared(providerKey{}, func() any {
+		return &PoolProvider{workers: rt.Workers(), pools: make(map[any]any)}
+	}).(*PoolProvider)
+}
+
+// poolFor resolves (and on first use creates) the shared segPool for
+// element type T and segment capacity segCap. Called once per queue
+// construction — never on a push/pop path.
+func poolFor[T any](p *PoolProvider, segCap int) *segPool[T] {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	key := poolKey[T]{segCap}
+	if sp, ok := p.pools[key]; ok {
+		return sp.(*segPool[T])
+	}
+	sp := &segPool[T]{}
+	sp.init(p.workers, segCap)
+	p.pools[key] = sp
+	return sp
+}
+
+// PooledSegments reports how many segments are currently cached across
+// every pool of the provider — a diagnostic for tests and tuning, not a
+// hot-path primitive.
+func (p *PoolProvider) PooledSegments() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	total := 0
+	for _, sp := range p.pools {
+		total += sp.(interface{ cached() int }).cached()
+	}
+	return total
+}
 
 // segPool recycles queue segments so that a pipeline in steady state
 // performs zero heap allocations: every segment the consumer drains past
 // (reachableData) is reset and parked on a free list, and every producer
 // overflow (Push into a full segment, attachFreshSegment, WriteSlice)
-// takes a segment from a free list before falling back to make.
+// takes a segment from a free list before falling back to make. One
+// segPool serves every queue of its runtime that shares its element type
+// and segment capacity (see PoolProvider above).
 //
 // The pool is sharded per worker: shard selection hashes the scheduler's
 // worker id (sched.Frame.WorkerID), so a producer and consumer running on
@@ -32,10 +113,27 @@ type segPool[T any] struct {
 	overflow   []*segment[T] // fixed capacity, allocated at init
 }
 
+// cached reports how many segments the pool currently holds (shards plus
+// overflow). Diagnostic only.
+func (p *segPool[T]) cached() int {
+	n := 0
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		n += sh.n
+		sh.mu.Unlock()
+	}
+	p.overflowMu.Lock()
+	n += len(p.overflow)
+	p.overflowMu.Unlock()
+	return n
+}
+
 const (
 	// segShardSlots bounds each per-worker free list; segOverflowSlots
 	// bounds the shared overflow list. Together they cap the idle memory
-	// a queue retains at (shards*segShardSlots + segOverflowSlots)
+	// one (type, capacity) pool retains — runtime-wide, now that pools
+	// are shared — at (shards*segShardSlots + segOverflowSlots)
 	// segments.
 	segShardSlots    = 8
 	segOverflowSlots = 64

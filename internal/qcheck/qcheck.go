@@ -10,11 +10,15 @@
 // historical failure reports (seed 139) stop being reproducible. Do not
 // reorder or add RNG draws in it. GenerateMulti is the extended
 // generator: programs over several hyperqueues whose tasks additionally
-// Sync mid-body and Call children synchronously, delegating a random
-// privilege subset per queue — the shapes that exercise the sharded
-// queue locks, cross-queue interleavings, and the syncHook fold.
-// GenerateMulti has its own frozen stream identity; a failure report is
-// (generator, seed, queues), never just a seed.
+// Sync mid-body, Call children synchronously (delegating a random
+// privilege subset per queue), and consume through the non-blocking
+// primitives — Empty-guarded TryPop and ReadSlice/ConsumeRead runs,
+// which exercise the lock-free miss fast path and the §5.2 slice
+// interface under both scheduler policies. GenerateMulti's stream
+// identity is versioned rather than frozen: PR 4 extended the action
+// set from 7 to 9 kinds, re-deriving every (seed, queues) program. No
+// historical multi-queue failure seed predates that change; a failure
+// report is (generator version, seed, queues), never just a seed.
 //
 // A program is a random task tree whose tasks push values, pop or drain
 // queues, and spawn children with a random subset of their own
@@ -40,6 +44,8 @@ const (
 	actDrain
 	actSync
 	actCall
+	actTryPopN    // GenerateMulti only: pop n values via Empty-guarded TryPop
+	actReadSliceN // GenerateMulti only: consume n values via ReadSlice/ConsumeRead
 )
 
 type action struct {
@@ -136,11 +142,12 @@ func (g *generator) gen(mode uint8, depth int) *task {
 }
 
 // GenerateMulti builds a random program over the given number of
-// hyperqueues with the extended action set: push bursts and pop/drain on
-// a randomly chosen queue, mid-task Sync, and synchronous Call children
-// alongside Spawn children, each delegated an independent random
-// privilege subset per queue. Deterministic per (seed, queues); the RNG
-// consumption is frozen independently of Generate's.
+// hyperqueues with the extended action set: push bursts and
+// pop/drain/TryPop/ReadSlice on a randomly chosen queue, mid-task Sync,
+// and synchronous Call children alongside Spawn children, each delegated
+// an independent random privilege subset per queue. Deterministic per
+// (seed, queues); the RNG consumption is versioned independently of
+// Generate's (see the package comment).
 func GenerateMulti(seed uint64, queues int) *Program {
 	if queues < 1 {
 		queues = 1
@@ -157,8 +164,22 @@ func GenerateMulti(seed uint64, queues int) *Program {
 func (g *generator) genMulti(modes []uint8, depth int) *task {
 	td := &task{id: g.nextID, modes: modes}
 	g.nextID++
+	// consume appends a bounded-count consumer action (Pop, TryPop or
+	// ReadSlice — identical generation bookkeeping, identical RNG draws)
+	// on a randomly chosen queue and moves the consumed prefix of the
+	// serial elision to the oracle.
+	consume := func(kind int) {
+		qi := g.r.Intn(g.nq)
+		if modes[qi]&2 == 0 || len(g.serialQ[qi]) == 0 {
+			return
+		}
+		n := 1 + g.r.Intn(len(g.serialQ[qi]))
+		td.acts = append(td.acts, action{kind: kind, q: qi, n: n})
+		g.oracle[td.id] = append(g.oracle[td.id], g.serialQ[qi][:n]...)
+		g.serialQ[qi] = g.serialQ[qi][n:]
+	}
 	for i, n := 0, 2+g.r.Intn(6); i < n; i++ {
-		switch g.r.Intn(7) {
+		switch g.r.Intn(9) {
 		case 0, 1: // push burst on one queue
 			qi := g.r.Intn(g.nq)
 			if modes[qi]&1 == 0 {
@@ -183,14 +204,7 @@ func (g *generator) genMulti(modes []uint8, depth int) *task {
 			}
 			td.acts = append(td.acts, action{kind: kind, child: g.genMulti(cm, depth-1)})
 		case 4: // pop a bounded number of values from one queue
-			qi := g.r.Intn(g.nq)
-			if modes[qi]&2 == 0 || len(g.serialQ[qi]) == 0 {
-				continue
-			}
-			n := 1 + g.r.Intn(len(g.serialQ[qi]))
-			td.acts = append(td.acts, action{kind: actPopN, q: qi, n: n})
-			g.oracle[td.id] = append(g.oracle[td.id], g.serialQ[qi][:n]...)
-			g.serialQ[qi] = g.serialQ[qi][n:]
+			consume(actPopN)
 		case 5: // drain one queue to permanent emptiness
 			qi := g.r.Intn(g.nq)
 			if modes[qi]&2 == 0 {
@@ -203,6 +217,10 @@ func (g *generator) genMulti(modes []uint8, depth int) *task {
 			}
 		case 6: // sync: wait for all children spawned so far
 			td.acts = append(td.acts, action{kind: actSync})
+		case 7: // consume a bounded number of values via TryPop
+			consume(actTryPopN)
+		case 8: // consume a bounded number of values via ReadSlice
+			consume(actReadSliceN)
 		}
 	}
 	return td
@@ -267,6 +285,42 @@ func (p *Program) Execute(workers, segCap int, policy swan.SpawnPolicy) map[int]
 						mu.Lock()
 						consumed[td.id] = append(consumed[td.id], v)
 						mu.Unlock()
+					}
+				case actTryPopN:
+					// Empty gating keeps the loop bounded and deterministic:
+					// a false Empty answer means a value is reachable for
+					// this frame, so the very next TryPop must hit. A miss
+					// after that (or a premature permanent emptiness) leaves
+					// values unconsumed and surfaces as an oracle mismatch.
+					for j := 0; j < a.n; j++ {
+						if qs[a.q].Empty(f) {
+							break
+						}
+						v, ok := qs[a.q].TryPop(f)
+						if !ok {
+							break
+						}
+						mu.Lock()
+						consumed[td.id] = append(consumed[td.id], v)
+						mu.Unlock()
+					}
+				case actReadSliceN:
+					// Same Empty gating; ReadSlice after a false Empty must
+					// return at least one value. Values are recorded before
+					// ConsumeRead invalidates the aliased storage.
+					for remaining := a.n; remaining > 0; {
+						if qs[a.q].Empty(f) {
+							break
+						}
+						s := qs[a.q].ReadSlice(f, remaining)
+						if len(s) == 0 {
+							break
+						}
+						mu.Lock()
+						consumed[td.id] = append(consumed[td.id], s...)
+						mu.Unlock()
+						qs[a.q].ConsumeRead(f, len(s))
+						remaining -= len(s)
 					}
 				case actSync:
 					f.Sync()

@@ -108,6 +108,34 @@ type Runtime struct {
 
 	panicMu  sync.Mutex
 	panicVal any // first task panic, re-raised by Run
+
+	// sharedMu/shared back Shared: runtime-scoped singletons keyed by
+	// client-chosen keys (the hyperqueue's segment-pool provider lives
+	// here). Touched only on the Shared slow path.
+	sharedMu sync.Mutex
+	shared   map[any]any
+}
+
+// Shared returns the runtime-scoped value stored under key, calling
+// create to build it the first time the key is seen. It is how client
+// packages attach runtime-wide state — caches shared by every task and
+// every queue of this runtime — without the scheduler knowing their
+// types: the hyperqueue stores its segment-pool provider here so that
+// all queues of a runtime draw from the same per-worker free lists.
+// create runs under the runtime's shared-state lock and must not call
+// Shared recursively.
+func (rt *Runtime) Shared(key any, create func() any) any {
+	rt.sharedMu.Lock()
+	defer rt.sharedMu.Unlock()
+	if v, ok := rt.shared[key]; ok {
+		return v
+	}
+	if rt.shared == nil {
+		rt.shared = make(map[any]any)
+	}
+	v := create()
+	rt.shared[key] = v
+	return v
 }
 
 // recordPanic stores the first panic raised by any task; Run re-raises

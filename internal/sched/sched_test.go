@@ -511,3 +511,39 @@ func TestParallelFlag(t *testing.T) {
 		}
 	})
 }
+
+// TestRuntimeShared checks the runtime-scoped singleton store: one create
+// per key per runtime, stable across calls and concurrent first users,
+// independent between runtimes.
+func TestRuntimeShared(t *testing.T) {
+	type keyA struct{}
+	type keyB struct{}
+	rt := New(2)
+	var creates atomic.Int32
+	mk := func() any { creates.Add(1); return new(int) }
+	var wg sync.WaitGroup
+	got := make([]any, 8)
+	for i := range got {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got[i] = rt.Shared(keyA{}, mk)
+		}()
+	}
+	wg.Wait()
+	for i := 1; i < len(got); i++ {
+		if got[i] != got[0] {
+			t.Fatal("Shared returned distinct values for the same key")
+		}
+	}
+	if n := creates.Load(); n != 1 {
+		t.Fatalf("create ran %d times, want 1", n)
+	}
+	if rt.Shared(keyB{}, mk) == got[0] {
+		t.Fatal("distinct keys share a value")
+	}
+	if New(2).Shared(keyA{}, mk) == got[0] {
+		t.Fatal("distinct runtimes share a value")
+	}
+}

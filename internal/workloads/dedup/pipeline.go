@@ -160,6 +160,15 @@ func RunObjects(rt *swan.Runtime, data []byte, o Options) Result {
 // nested pipelines push completed chunks onto one global write queue that
 // the Output task drains concurrently — no waiting for whole coarse
 // chunks.
+//
+// The chunk-local queues are recycled: a pipeline whose producer and
+// consumer have both completed leaves its (fully drained) queue
+// quiescent, and the next coarse chunk reuses it via Queue.Recycle
+// instead of constructing a fresh one. The working set of queues is
+// therefore bounded by the number of in-flight pipelines rather than
+// growing with the input, and — together with the runtime-wide segment
+// pool — a long input stream reaches a steady state in which per-chunk
+// queue setup allocates nothing.
 func RunHyperqueue(rt *swan.Runtime, data []byte, o Options, segCap int) Result {
 	store := NewStore()
 	var res Result
@@ -173,6 +182,24 @@ func RunHyperqueue(rt *swan.Runtime, data []byte, o Options, segCap int) Result 
 			// writeQ's push-privilege order (and thus the output stream)
 			// is identical to the unbatched loop.
 			const coarseBatch = 4
+			// localQs holds every chunk-local queue ever created, all owned
+			// by frag; scan points one past the last reuse so the rotating
+			// probe visits the oldest (most likely quiescent) queues first.
+			var localQs []*swan.Queue[*Chunk]
+			scan := 0
+			acquireLocalQ := func() *swan.Queue[*Chunk] {
+				for i := 0; i < len(localQs); i++ {
+					q := localQs[(scan+i)%len(localQs)]
+					if q.CanRecycle(frag) {
+						scan = (scan + i + 1) % len(localQs)
+						q.Recycle(frag)
+						return q
+					}
+				}
+				q := swan.NewQueueWithCapacity[*Chunk](frag, segCap)
+				localQs = append(localQs, q)
+				return q
+			}
 			coarses := Fragment(data, o)
 			for len(coarses) > 0 {
 				n := coarseBatch
@@ -182,8 +209,8 @@ func RunHyperqueue(rt *swan.Runtime, data []byte, o Options, segCap int) Result 
 				children := make([]swan.BatchChild, 0, 2*n)
 				for _, coarse := range coarses[:n] {
 					coarse := coarse
-					// Nested pipeline with a local queue (Fig. 10(c)).
-					q := swan.NewQueueWithCapacity[*Chunk](frag, segCap)
+					// Nested pipeline with a recycled local queue (Fig. 10(c)).
+					q := acquireLocalQ()
 					children = append(children, swan.BatchChild{
 						Body: func(c *swan.Frame) { // FragmentRefine
 							for _, fine := range Refine(coarse, o) {

@@ -84,6 +84,97 @@ func ExampleTransformEach() {
 	// 25
 }
 
+// ExampleNewWithPolicy pins the substrate-independence guarantee: the
+// same program produces the same result on the work-stealing runtime and
+// on the goroutine-per-task ablation baseline.
+func ExampleNewWithPolicy() {
+	for _, policy := range []swan.SpawnPolicy{swan.PolicySteal, swan.PolicyGoroutine} {
+		rt := swan.NewWithPolicy(2, policy)
+		total := 0
+		rt.Run(func(f *swan.Frame) {
+			q := swan.NewQueue[int](f)
+			f.SpawnN(4, func(c *swan.Frame, i int) {
+				q.Push(c, i+1)
+			}, swan.Push(q))
+			f.Spawn(func(c *swan.Frame) {
+				for !q.Empty(c) {
+					total += q.Pop(c)
+				}
+			}, swan.Pop(q))
+			f.Sync()
+		})
+		fmt.Printf("%v: %d\n", policy, total)
+	}
+	// Output:
+	// steal: 10
+	// goroutine: 10
+}
+
+// ExampleFrame_SpawnBatch publishes a wave of producer tasks with one
+// scheduler operation (one deque store, one wake sweep). Dep Prepare
+// still runs per child in program order, so the consumer's view of the
+// stream is identical to consecutive Spawn calls.
+func ExampleFrame_SpawnBatch() {
+	rt := swan.New(4)
+	rt.Run(func(f *swan.Frame) {
+		q := swan.NewQueue[int](f)
+		children := make([]swan.BatchChild, 0, 3)
+		for i := 0; i < 3; i++ {
+			base := i * 10
+			children = append(children, swan.BatchChild{
+				Body: func(c *swan.Frame) {
+					q.Push(c, base)
+					q.Push(c, base+1)
+				},
+				Deps: []swan.Dep{swan.Push(q)},
+			})
+		}
+		f.SpawnBatch(children)
+		swan.Drain(f, q, func(v int) { fmt.Println(v) })
+		f.Sync()
+	})
+	// Output:
+	// 0
+	// 1
+	// 10
+	// 11
+	// 20
+	// 21
+}
+
+// ExampleQueue_Recycle runs several pipeline instances through one
+// queue: after a Sync covering every task that held privileges, the
+// drained queue is reset in place — its segments return to the
+// runtime-wide pool and the next round reuses them, so churn-heavy
+// programs (dedup creates one short-lived queue per coarse chunk) stop
+// paying the construction cost per instance.
+func ExampleQueue_Recycle() {
+	rt := swan.New(2)
+	rt.Run(func(f *swan.Frame) {
+		q := swan.NewQueue[int](f)
+		for round := 0; round < 3; round++ {
+			base := round * 100
+			f.Spawn(func(c *swan.Frame) {
+				q.Push(c, base)
+				q.Push(c, base+1)
+			}, swan.Push(q))
+			f.Spawn(func(c *swan.Frame) {
+				sum := 0
+				for !q.Empty(c) {
+					sum += q.Pop(c)
+				}
+				fmt.Println(sum)
+			}, swan.Pop(q))
+			f.Sync()     // quiesce: both children completed
+			q.Recycle(f) // drained + quiescent: reuse it next round
+		}
+	})
+	// Output:
+	// 1
+	// 201
+	// 401
+}
+
 // ExampleQueue_selectiveSync is the paper's Figure 6: the owner waits for
 // its consumer child before inspecting what a later producer left behind.
 func ExampleQueue_selectiveSync() {
