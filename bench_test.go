@@ -167,6 +167,10 @@ func BenchmarkAblationSegmentSize(b *testing.B) {
 
 // --- Ablation: hyperqueue vs Go channel as SPSC transport ----------------
 
+// The hyperqueue side runs on bound handles (BindPush/BindPop): the
+// privilege resolution is paid once per task body, the way a channel is
+// "bound" by closure capture, and each element is one Push/Pop — the
+// per-element regime the channel side measures.
 func BenchmarkAblationQueueVsChannel(b *testing.B) {
 	b.Run("hyperqueue", func(b *testing.B) {
 		rt := sched.New(2)
@@ -174,13 +178,15 @@ func BenchmarkAblationQueueVsChannel(b *testing.B) {
 			q := core.NewWithCapacity[int](f, 256)
 			b.ResetTimer()
 			f.Spawn(func(c *sched.Frame) {
+				pw := q.BindPush(c)
 				for i := 0; i < b.N; i++ {
-					q.Push(c, i)
+					pw.Push(i)
 				}
 			}, core.Push(q))
 			f.Spawn(func(c *sched.Frame) {
+				pp := q.BindPop(c)
 				for i := 0; i < b.N; i++ {
-					q.Pop(c)
+					pp.Pop()
 				}
 			}, core.Pop(q))
 			f.Sync()
@@ -202,6 +208,86 @@ func BenchmarkAblationQueueVsChannel(b *testing.B) {
 			close(done)
 		}()
 		<-done
+	})
+}
+
+// --- Ablation: bound handles vs unbound per-element access ---------------
+
+// BenchmarkBoundVsUnbound isolates what PR 5's binding buys on the same
+// 1P/1C ring: mode=unbound re-resolves privileges per element
+// (Queue.Push/Queue.Pop), mode=bound resolves them once per task body
+// (BindPush/BindPop), and mode=bulk moves batch-sized slices per call
+// (PushSlice/PopInto — one wake-up probe and one reachability probe per
+// call instead of per element). ns/op is per element in all three
+// modes; CI gates allocs/op == 0 on the bound path.
+func BenchmarkBoundVsUnbound(b *testing.B) {
+	const bulk = 64
+	run := func(b *testing.B, producer, consumer func(c *sched.Frame, q *core.Queue[int], n int)) {
+		b.ReportAllocs()
+		rt := sched.New(2)
+		rt.Run(func(f *sched.Frame) {
+			q := core.NewWithCapacity[int](f, 256)
+			b.ResetTimer()
+			f.Spawn(func(c *sched.Frame) { producer(c, q, b.N) }, core.Push(q))
+			f.Spawn(func(c *sched.Frame) { consumer(c, q, b.N) }, core.Pop(q))
+			f.Sync()
+		})
+	}
+	b.Run("mode=unbound", func(b *testing.B) {
+		run(b,
+			func(c *sched.Frame, q *core.Queue[int], n int) {
+				for i := 0; i < n; i++ {
+					q.Push(c, i)
+				}
+			},
+			func(c *sched.Frame, q *core.Queue[int], n int) {
+				for i := 0; i < n; i++ {
+					q.Pop(c)
+				}
+			})
+	})
+	b.Run("mode=bound", func(b *testing.B) {
+		run(b,
+			func(c *sched.Frame, q *core.Queue[int], n int) {
+				pw := q.BindPush(c)
+				for i := 0; i < n; i++ {
+					pw.Push(i)
+				}
+			},
+			func(c *sched.Frame, q *core.Queue[int], n int) {
+				pp := q.BindPop(c)
+				for i := 0; i < n; i++ {
+					pp.Pop()
+				}
+			})
+	})
+	b.Run("mode=bulk", func(b *testing.B) {
+		run(b,
+			func(c *sched.Frame, q *core.Queue[int], n int) {
+				pw := q.BindPush(c)
+				buf := make([]int, bulk)
+				for i := 0; i < n; i += len(buf) {
+					k := len(buf)
+					if n-i < k {
+						k = n - i
+					}
+					pw.PushSlice(buf[:k])
+				}
+			},
+			func(c *sched.Frame, q *core.Queue[int], n int) {
+				pp := q.BindPop(c)
+				buf := make([]int, bulk)
+				for got := 0; got < n; {
+					k := pp.PopInto(buf)
+					if k == 0 {
+						if pp.Empty() {
+							break
+						}
+						continue
+					}
+					got += k
+				}
+			})
 	})
 }
 

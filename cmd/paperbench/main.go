@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	paperbench [-exp all|table1|table2|fig8|fig11|bzip2] [-scale N] [-cores N] [-reps N] [-sched steal|goroutine]
+//	paperbench [-exp all|table1|table2|fig8|fig11|bzip2] [-scale N] [-cores N] [-reps N] [-sched steal|goroutine] [-stats]
 //
 // Scale 1 keeps each experiment in the seconds range; the paper-like
 // regime is -scale 4 or higher.
@@ -26,6 +26,7 @@ func main() {
 	cores := flag.Int("cores", runtime.NumCPU(), "maximum cores to sweep")
 	reps := flag.Int("reps", 2, "repetitions per configuration (best-of)")
 	schedPolicy := flag.String("sched", "steal", "scheduler substrate for the Swan runtimes: steal (work-stealing deques) or goroutine (goroutine-per-task baseline)")
+	showStats := flag.Bool("stats", false, "print per-runtime resource stats (pooled segments, recycled queues, spawns/steals) after the experiments")
 	flag.Parse()
 
 	switch *schedPolicy {
@@ -59,12 +60,16 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	bench.CollectRuntimeStats(*showStats)
 	fmt.Printf("# Hyperqueue reproduction — %d cores available, scale %d, scheduler %s\n\n", runtime.NumCPU(), *scale, sched.DefaultPolicy())
 	if *exp == "all" {
 		for _, e := range []string{"table1", "table2", "fig8", "fig11", "bzip2"} {
 			run(e)
 		}
-		return
+	} else {
+		run(*exp)
 	}
-	run(*exp)
+	if *showStats {
+		fmt.Println(bench.RuntimeStatsReport())
+	}
 }

@@ -82,9 +82,10 @@ func main() {
 			var walk func(c *swan.Frame, lo, hi int)
 			walk = func(c *swan.Frame, lo, hi int) {
 				if hi-lo == 1 {
-					for _, line := range files[lo] {
-						raw.Push(c, line)
-					}
+					// One bound bulk transfer per leaf: a single wake-up
+					// probe no matter how many lines the file holds.
+					pw := raw.BindPush(c)
+					pw.PushSlice(files[lo])
 					return
 				}
 				mid := (lo + hi) / 2
@@ -96,25 +97,18 @@ func main() {
 			// Stage 2: parse in parallel batches, preserving order via the
 			// hyperqueue's reduction semantics.
 			scan.Spawn(func(c *swan.Frame) {
-				for !raw.Empty(c) {
-					batch := make([]string, 0, 64)
-					for len(batch) < 64 {
-						line, ok := raw.TryPop(c)
-						if !ok {
-							break
-						}
-						batch = append(batch, line)
+				pp := raw.BindPop(c)
+				for !pp.Empty() {
+					batch := make([]string, 64)
+					n := pp.PopInto(batch) // bulk: one probe per segment
+					if n == 0 {
+						continue // a value is in flight; re-test Empty
 					}
-					if len(batch) == 0 {
-						if raw.Empty(c) {
-							break
-						}
-						continue
-					}
-					b := batch
+					b := batch[:n]
 					c.Spawn(func(g *swan.Frame) {
+						pw := events.BindPush(g)
 						for _, line := range b {
-							events.Push(g, parseLine(line))
+							pw.Push(parseLine(line))
 						}
 					}, swan.Push(events))
 				}
@@ -123,8 +117,9 @@ func main() {
 
 		// Stage 3: order-dependent aggregation (serial consumer).
 		f.Spawn(func(c *swan.Frame) {
-			for !events.Empty(c) {
-				e := events.Pop(c)
+			pp := events.BindPop(c)
+			for !pp.Empty() {
+				e := pp.Pop()
 				lines++
 				totalBytes += int64(e.bytes)
 				sessions[e.session]++

@@ -34,8 +34,9 @@ func main() {
 		var produce func(c *swan.Frame, lo, hi int)
 		produce = func(c *swan.Frame, lo, hi int) {
 			if hi-lo <= 10 {
+				pw := q.BindPush(c) // resolve privileges once per leaf task
 				for n := lo; n < hi; n++ {
-					q.Push(c, f(n))
+					pw.Push(f(n))
 				}
 				return
 			}
@@ -48,9 +49,10 @@ func main() {
 
 		// Consumer: runs concurrently with the producers.
 		fr.Spawn(func(c *swan.Frame) {
+			pp := q.BindPop(c) // acquire the consumer role once
 			expect := 0
-			for !q.Empty(c) {
-				v := q.Pop(c)
+			for !pp.Empty() {
+				v := pp.Pop()
 				if v != f(expect) {
 					inOrder = false
 				}

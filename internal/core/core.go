@@ -60,15 +60,19 @@
 // # Ownership and locking map
 //
 // The hot paths (Push, Pop, Empty's reachability probe) take no locks at
-// all; everything else is split between two independent mutexes so that
-// sibling producers preparing and completing never serialize against a
-// popping consumer. The rules, field by field:
+// all — and through the bound handles of handle.go (BindPush/BindPop,
+// with bulk PushSlice/PopInto) they also stop re-resolving privileges
+// per element; everything else is split between two independent mutexes
+// so that sibling producers preparing and completing never serialize
+// against a popping consumer. The rules, field by field:
 //
-//   - Queue.consMu (the consumer-side lock) guards: Queue.parked, and the
-//     condition variable Queue.cond (which signals "data linked",
-//     "producer retired" and "consumer ticket served"). Every blocking
-//     consumer wait — Empty/Pop's emptyWait, acquireConsumer, a pop
-//     dep's Wait — runs under consMu.
+//   - Queue.consMu (the consumer-side lock) guards: Queue.parked,
+//     Queue.sleepers (the all-classes count of cond.Wait loops that lets
+//     wakeLocked Signal instead of Broadcast when exactly one waiter
+//     exists), and the condition variable Queue.cond (which signals
+//     "data linked", "producer retired" and "consumer ticket served").
+//     Every blocking consumer wait — Empty/Pop's emptyWait,
+//     acquireConsumer, a pop dep's Wait — runs under consMu.
 //   - Queue.regMu (the producer-registry lock) guards: Queue.producers,
 //     Queue.nlctr, every qviews' children and right views, and the
 //     live-sibling chain fields (prev, next, childHead, childTail).

@@ -80,9 +80,11 @@ func (d queueDep[T]) Wait(child *sched.Frame) {
 		return
 	}
 	q.lockCons()
+	q.sleepers++
 	for cqv.parentQV.popServed.Load() != cqv.popTicket {
 		q.cond.Wait()
 	}
+	q.sleepers--
 	q.consMu.Unlock()
 }
 
@@ -150,6 +152,6 @@ func (d queueDep[T]) Complete(parent, child *sched.Frame) {
 		}
 		q.unlockRegNested()
 	}
-	q.cond.Broadcast()
+	q.wakeLocked()
 	q.consMu.Unlock()
 }

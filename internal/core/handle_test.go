@@ -1,0 +1,246 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+)
+
+// TestHandleScalarOrder pins the basic contract: values moved through
+// bound handles arrive in serial program order, across producers bound
+// in different tasks.
+func TestHandleScalarOrder(t *testing.T) {
+	rt := sched.New(2)
+	rt.Run(func(f *sched.Frame) {
+		q := NewWithCapacity[int](f, 4)
+		for w := 0; w < 4; w++ {
+			base := w * 100
+			f.Spawn(func(c *sched.Frame) {
+				pw := q.BindPush(c)
+				for i := 0; i < 10; i++ {
+					pw.Push(base + i)
+				}
+			}, Push(q))
+		}
+		f.Spawn(func(c *sched.Frame) {
+			pp := q.BindPop(c)
+			var got []int
+			for !pp.Empty() {
+				got = append(got, pp.Pop())
+			}
+			if len(got) != 40 {
+				t.Errorf("consumed %d values, want 40", len(got))
+			}
+			for i, v := range got {
+				if want := (i/10)*100 + i%10; v != want {
+					t.Errorf("position %d: got %d, want %d", i, v, want)
+				}
+			}
+		}, Pop(q))
+		f.Sync()
+	})
+}
+
+// TestHandleBulkTransfer drives PushSlice/PopInto across many segment
+// boundaries and ring wrap-arounds: slice sizes are deliberately coprime
+// with the segment capacity so every span split is exercised.
+func TestHandleBulkTransfer(t *testing.T) {
+	const segCap, total = 8, 1000
+	rt := sched.New(2)
+	rt.Run(func(f *sched.Frame) {
+		q := NewWithCapacity[int](f, segCap)
+		f.Spawn(func(c *sched.Frame) {
+			pw := q.BindPush(c)
+			buf := make([]int, 0, 13)
+			next := 0
+			for next < total {
+				buf = buf[:0]
+				for len(buf) < 13 && next < total {
+					buf = append(buf, next)
+					next++
+				}
+				pw.PushSlice(buf)
+			}
+		}, Push(q))
+		f.Spawn(func(c *sched.Frame) {
+			pp := q.BindPop(c)
+			dst := make([]int, 7)
+			next := 0
+			for !pp.Empty() {
+				n := pp.PopInto(dst)
+				if n == 0 {
+					t.Fatal("PopInto returned 0 immediately after Empty reported false")
+				}
+				for _, v := range dst[:n] {
+					if v != next {
+						t.Fatalf("position %d: got %d", next, v)
+					}
+					next++
+				}
+			}
+			if next != total {
+				t.Errorf("consumed %d values, want %d", next, total)
+			}
+		}, Pop(q))
+		f.Sync()
+	})
+}
+
+// TestHandleReadSlice exercises the bound ReadSlice/ConsumeRead pair.
+func TestHandleReadSlice(t *testing.T) {
+	rt := sched.New(1)
+	rt.Run(func(f *sched.Frame) {
+		q := NewWithCapacity[int](f, 4)
+		pw := q.BindPush(f)
+		for i := 0; i < 10; i++ {
+			pw.Push(i)
+		}
+		pp := q.BindPop(f)
+		next := 0
+		for {
+			s := pp.ReadSlice(3)
+			if len(s) == 0 {
+				break
+			}
+			for _, v := range s {
+				if v != next {
+					t.Fatalf("position %d: got %d", next, v)
+				}
+				next++
+			}
+			pp.ConsumeRead(len(s))
+		}
+		if next != 10 {
+			t.Errorf("read %d values, want 10", next)
+		}
+	})
+}
+
+// TestRegressionHandleInvalidateAtSync is the -race regression for the
+// handle lifecycle across the view algebra's invalidation points: a
+// bound Pusher survives Prepare stealing the binder's user view (a push
+// child spawned mid-stream), a Sync folding the children view back, and
+// keeps appending in the binder's serial position; a bound Popper
+// revalidates the consumer role when pop children spawned after the bind
+// complete. The consumer must observe the exact serial elision. Runs
+// under the race detector in CI (-run 'Regression').
+func TestRegressionHandleInvalidateAtSync(t *testing.T) {
+	rt := sched.New(4)
+	rt.Run(func(f *sched.Frame) {
+		q := NewWithCapacity[int](f, 2)
+		var want []int
+		f.Spawn(func(c *sched.Frame) {
+			pw := q.BindPush(c)
+			val := 0
+			for round := 0; round < 6; round++ {
+				pw.Push(val) // before the spawn: binder's position
+				val++
+				base := val
+				c.Spawn(func(g *sched.Frame) { // steals c's user view
+					cw := q.BindPush(g)
+					cw.PushSlice([]int{base, base + 1})
+				}, Push(q))
+				val += 2
+				// After the spawn the handle's next push reopens a fresh
+				// tail ordered after the child's values (rule 4).
+				pw.Push(val)
+				val++
+				if round%2 == 1 {
+					c.Sync() // children view folds into user; handle unaffected
+				}
+			}
+		}, Push(q))
+		for i := 0; i < 24; i++ {
+			want = append(want, i)
+		}
+		f.Spawn(func(c *sched.Frame) {
+			pp := q.BindPop(c)
+			// Pop children spawned after the bind: the handle's later pops
+			// must wait for them (ticket revalidation), and their consumed
+			// prefixes interleave deterministically with the binder's.
+			var mine []int
+			for round := 0; round < 3; round++ {
+				c.Spawn(func(g *sched.Frame) {
+					gp := q.BindPop(g)
+					for k := 0; k < 4; k++ {
+						mine = append(mine, gp.Pop()) // serialized before c's pops
+					}
+				}, Pop(q))
+				c.Sync()
+				mine = append(mine, pp.Pop())
+				if v, ok := pp.TryPop(); ok {
+					mine = append(mine, v)
+				}
+			}
+			for !pp.Empty() {
+				mine = append(mine, pp.Pop())
+			}
+			if len(mine) != len(want) {
+				t.Errorf("consumed %d values, want %d", len(mine), len(want))
+				return
+			}
+			for i := range want {
+				if mine[i] != want[i] {
+					t.Errorf("position %d: got %d, want %d", i, mine[i], want[i])
+				}
+			}
+		}, Pop(q))
+		f.Sync()
+	})
+}
+
+// TestHandlePrivilegePanics pins that binding checks the privilege mask
+// exactly like the unbound operations.
+func TestHandlePrivilegePanics(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	rt := sched.New(2)
+	rt.Run(func(f *sched.Frame) {
+		q := NewWithCapacity[int](f, 4)
+		f.Spawn(func(c *sched.Frame) {
+			expectPanic("BindPop on a push-only task", func() { q.BindPop(c) })
+		}, Push(q))
+		f.Spawn(func(c *sched.Frame) {
+			expectPanic("BindPush on a pop-only task", func() { q.BindPush(c) })
+			for !q.Empty(c) {
+				q.Pop(c)
+			}
+		}, Pop(q))
+		f.Sync()
+	})
+}
+
+// TestHandleSteadyStateZeroAllocs asserts the warmed bound-handle path —
+// scalar and bulk — allocates nothing per lap, mirroring the unbound
+// steady-state guarantee the segment pool provides.
+func TestHandleSteadyStateZeroAllocs(t *testing.T) {
+	rt := sched.New(1)
+	rt.Run(func(f *sched.Frame) {
+		q := NewWithCapacity[int](f, 16)
+		pw := q.BindPush(f)
+		pp := q.BindPop(f)
+		buf := make([]int, 24)
+		lap := func() {
+			for i := 0; i < 40; i++ {
+				pw.Push(i)
+			}
+			for i := 0; i < 40; i++ {
+				pp.Pop()
+			}
+			pw.PushSlice(buf)
+			for got := 0; got < len(buf); {
+				got += pp.PopInto(buf[got:])
+			}
+		}
+		lap() // warm the pool
+		if n := testing.AllocsPerRun(50, lap); n != 0 {
+			t.Errorf("bound-handle steady state allocates %.1f/lap, want 0", n)
+		}
+	})
+}

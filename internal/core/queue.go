@@ -89,6 +89,16 @@ type Queue[T any] struct {
 	// enabled; the lock-free fast-path regression tests assert on it. Not
 	// touched when debug checks are off.
 	consMuAcquires atomic.Uint64
+	// sleepers counts every goroutine currently inside a cond.Wait loop on
+	// q.cond — Empty/Pop parkers, consumer-role waiters and pop-ticket
+	// waiters alike. Guarded by consMu. wakeLocked uses it to downgrade a
+	// Broadcast to a Signal when exactly one waiter exists: with a single
+	// counted waiter the cond's wait set holds at most that goroutine, so
+	// Signal reaches it (or it is already awake re-checking under consMu).
+	// The count is deliberately wider than waiters: Signal with an
+	// uncounted ticket waiter in the wait set could wake the wrong
+	// goroutine and strand the parked consumer.
+	sleepers int
 
 	// Producer-registry state.
 	regMu sync.Mutex
@@ -100,7 +110,10 @@ type Queue[T any] struct {
 	// pool is the runtime-wide segment pool for this queue's element type
 	// and segment capacity, resolved through the runtime's PoolProvider
 	// at construction. Shared with every other such queue of the runtime.
+	// prov is the provider it came from, kept for runtime-wide stats
+	// (the recycled-queue counter).
 	pool *segPool[T]
+	prov *PoolProvider
 
 	owner   *sched.Frame
 	ownerQV *qviews[T]
@@ -177,7 +190,8 @@ func newQueue[T any](f *sched.Frame, segCap int, legacy bool) *Queue[T] {
 	}
 	q := &Queue[T]{segCap: segCap, legacy: legacy, owner: f, producers: make(map[*sched.Frame]struct{})}
 	q.cond = sync.NewCond(&q.consMu)
-	q.pool = poolFor[T](ProviderOf(f.Runtime()), segCap)
+	q.prov = ProviderOf(f.Runtime())
+	q.pool = poolFor[T](q.prov, segCap)
 	s0 := q.pool.get(q.pool.shard(f.WorkerID()))
 	qv := &qviews[T]{q: q, frame: f, mode: ModePushPop}
 	q.nlctr++
@@ -268,24 +282,12 @@ func (q *Queue[T]) syncHook(qv *qviews[T]) {
 // program order (§4.1). The fast path appends to the user view's tail
 // segment without locks; a pooled segment is linked when the current one
 // is full, and the head-sharing protocol runs when the task has no user
-// view.
+// view. It is a one-element bind: the single implementation of the push
+// machinery lives in Pusher (handle.go), and loops should bind once via
+// BindPush instead of paying the per-element privilege resolution here.
 func (q *Queue[T]) Push(f *sched.Frame, v T) {
-	qv := q.mustViews(f, ModePush)
-	if !qv.user.valid {
-		q.attachFreshSegment(qv)
-	}
-	seg := qv.user.tail
-	if seg == nil {
-		panic("hyperqueue: user view has non-local tail at push (internal invariant broken)")
-	}
-	if seg.full() {
-		snew := q.pool.get(q.pool.shard(f.WorkerID()))
-		seg.next.Store(snew) // tail ownership: only this task may link here
-		qv.user.tail = snew
-		seg = snew
-	}
-	seg.push(v)
-	q.wakeConsumer()
+	p := q.BindPush(f)
+	p.Push(v)
 }
 
 // attachFreshSegment implements the §4.1 protocol for a push into an
@@ -360,7 +362,7 @@ func (q *Queue[T]) wakeConsumer() {
 		// to test for waiters.
 		q.lockCons()
 		if q.waiters.Load() > 0 {
-			q.cond.Broadcast()
+			q.wakeLocked()
 		}
 		q.consMu.Unlock()
 		return
@@ -369,8 +371,25 @@ func (q *Queue[T]) wakeConsumer() {
 		return
 	}
 	q.lockCons()
-	q.cond.Broadcast()
+	q.wakeLocked()
 	q.consMu.Unlock()
+}
+
+// wakeLocked wakes every cond waiter that could make progress. With
+// exactly one registered sleeper a Signal suffices (single-consumer
+// queues never need a broadcast): the wait set holds at most that one
+// goroutine, so the single futex wake either reaches it or it is already
+// awake re-checking its predicate under consMu. With several sleepers
+// the classes are mixed (parked consumer, ticket waiters), so only a
+// Broadcast is safe. Caller holds consMu.
+func (q *Queue[T]) wakeLocked() {
+	switch q.sleepers {
+	case 0:
+	case 1:
+		q.cond.Signal()
+	default:
+		q.cond.Broadcast()
+	}
 }
 
 // visibleProducerLive reports whether any live producer's values could
@@ -406,9 +425,11 @@ func (q *Queue[T]) acquireConsumer(f *sched.Frame, qv *qviews[T]) {
 	if qv.popServed.Load() != qv.popTickets.Load() {
 		f.Block(func() {
 			q.lockCons()
+			q.sleepers++
 			for qv.popServed.Load() != qv.popTickets.Load() {
 				q.cond.Wait()
 			}
+			q.sleepers--
 			q.consMu.Unlock()
 		})
 	}
@@ -559,6 +580,7 @@ func (q *Queue[T]) emptyWait(f *sched.Frame, qv *qviews[T]) bool {
 		q.lockCons()
 		q.waiters.Add(1)
 		q.parked = qv
+		q.sleepers++
 		for {
 			if q.reachableData() {
 				break
@@ -572,6 +594,7 @@ func (q *Queue[T]) emptyWait(f *sched.Frame, qv *qviews[T]) bool {
 			q.unlockRegNested()
 			q.cond.Wait()
 		}
+		q.sleepers--
 		q.parked = nil
 		q.waiters.Add(-1)
 		q.consMu.Unlock()
@@ -586,14 +609,12 @@ func (q *Queue[T]) emptyWait(f *sched.Frame, qv *qviews[T]) bool {
 // returns false when a value is available to pop, and true only when it
 // is certain no more values visible to this task will arrive (§2.1) —
 // see "The Empty contract" in the package comment. It blocks while the
-// answer is undecided, releasing the worker slot.
+// answer is undecided, releasing the worker slot. Like Pop and TryPop it
+// is a one-element bind over the Popper implementation (handle.go);
+// consumer loops should bind once via BindPop.
 func (q *Queue[T]) Empty(f *sched.Frame) bool {
-	qv := q.mustViews(f, ModePop)
-	q.acquireConsumer(f, qv)
-	if q.reachableData() {
-		return false
-	}
-	return q.emptyWait(f, qv)
+	p := q.BindPop(f)
+	return p.Empty()
 }
 
 // Pop removes and returns the value at the head of the queue. Calling Pop
@@ -603,12 +624,8 @@ func (q *Queue[T]) Empty(f *sched.Frame) bool {
 // linked at the head — takes no locks and does not enter the emptiness
 // spin/wait protocol.
 func (q *Queue[T]) Pop(f *sched.Frame) T {
-	qv := q.mustViews(f, ModePop)
-	q.acquireConsumer(f, qv)
-	if !q.reachableData() && q.emptyWait(f, qv) {
-		panic("hyperqueue: pop on permanently empty queue")
-	}
-	return q.headView.head.pop()
+	p := q.BindPop(f)
+	return p.Pop()
 }
 
 // TryPop is a non-blocking variant used by slice-style consumers: it
@@ -616,13 +633,8 @@ func (q *Queue[T]) Pop(f *sched.Frame) T {
 // up it links any frontier views deposited by completed producers, so a
 // value that exists and is ordered before the consumer is never missed.
 func (q *Queue[T]) TryPop(f *sched.Frame) (T, bool) {
-	qv := q.mustViews(f, ModePop)
-	q.acquireConsumer(f, qv)
-	if !q.tryReachable(f, qv) {
-		var zero T
-		return zero, false
-	}
-	return q.headView.head.pop(), true
+	p := q.BindPop(f)
+	return p.TryPop()
 }
 
 // tryReachable is the non-blocking reachability probe shared by TryPop
@@ -769,4 +781,5 @@ func (q *Queue[T]) Recycle(f *sched.Frame) {
 	q.everProducer.Store(false)
 	q.unlockRegNested()
 	q.consMu.Unlock()
+	q.prov.recycles.Add(1)
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/sched"
 )
@@ -42,7 +43,15 @@ type PoolProvider struct {
 
 	mu    sync.Mutex
 	pools map[any]any // poolKey[T] -> *segPool[T]
+
+	// recycles counts completed Queue.Recycle resets runtime-wide — the
+	// companion gauge to PooledSegments for the swan.Stats surface.
+	recycles atomic.Uint64
 }
+
+// RecycledQueues reports how many Queue.Recycle resets have completed
+// across every queue of the runtime.
+func (p *PoolProvider) RecycledQueues() uint64 { return p.recycles.Load() }
 
 // ProviderOf returns the runtime's segment-pool provider, creating it on
 // first use. All queues created on rt share this provider.

@@ -12,38 +12,20 @@ import "repro/internal/sched"
 // queue without copying. The values stay in the queue until ConsumeRead
 // reports how many were processed. It requires pop privileges; it does
 // not block — an empty result means no values are immediately available
-// (use Empty to distinguish end-of-stream from a transient gap).
+// (use Empty to distinguish end-of-stream from a transient gap). Like
+// the other consumer operations it is a one-shot bind over the Popper
+// implementation (handle.go).
 func (q *Queue[T]) ReadSlice(f *sched.Frame, max int) []T {
-	qv := q.mustViews(f, ModePop)
-	q.acquireConsumer(f, qv)
-	if max < 1 || !q.tryReachable(f, qv) {
-		return nil
-	}
-	s := q.headView.head
-	start, n := s.contiguousReadable()
-	if n > int64(max) {
-		n = int64(max)
-	}
-	return s.buf[start : start+n]
+	p := q.BindPop(f)
+	return p.ReadSlice(max)
 }
 
 // ConsumeRead removes the first n values from the queue after the caller
 // has processed a ReadSlice. n must not exceed the length of the last
 // ReadSlice result.
 func (q *Queue[T]) ConsumeRead(f *sched.Frame, n int) {
-	qv := q.mustViews(f, ModePop)
-	q.acquireConsumer(f, qv)
-	s := q.headView.head
-	if int64(n) > s.size() {
-		panic("hyperqueue: ConsumeRead past the end of the read slice")
-	}
-	// Clear references for the garbage collector, then advance.
-	h := s.head.Load()
-	var zero T
-	for i := int64(0); i < int64(n); i++ {
-		s.buf[(h+i)%int64(len(s.buf))] = zero
-	}
-	s.head.Store(h + int64(n))
+	p := q.BindPop(f)
+	p.ConsumeRead(n)
 }
 
 // WriteSlice returns a slice of n uninitialized value slots at the tail

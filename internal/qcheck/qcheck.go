@@ -16,9 +16,12 @@
 // which exercise the lock-free miss fast path and the §5.2 slice
 // interface under both scheduler policies. GenerateMulti's stream
 // identity is versioned rather than frozen: PR 4 extended the action
-// set from 7 to 9 kinds, re-deriving every (seed, queues) program. No
-// historical multi-queue failure seed predates that change; a failure
-// report is (generator version, seed, queues), never just a seed.
+// set from 7 to 9 kinds, and PR 5 from 9 to 11 (bound-handle push
+// bursts — scalar Push or bulk PushSlice — and bound-handle
+// Empty-guarded PopInto consumption), each change re-deriving every
+// (seed, queues) program. No historical multi-queue failure seed
+// predates those changes; a failure report is (generator version, seed,
+// queues), never just a seed.
 //
 // A program is a random task tree whose tasks push values, pop or drain
 // queues, and spawn children with a random subset of their own
@@ -46,6 +49,8 @@ const (
 	actCall
 	actTryPopN    // GenerateMulti only: pop n values via Empty-guarded TryPop
 	actReadSliceN // GenerateMulti only: consume n values via ReadSlice/ConsumeRead
+	actBindPushN  // GenerateMulti only: push n values through a bound Pusher
+	actBindPopN   // GenerateMulti only: consume n values via Popper.PopInto
 )
 
 type action struct {
@@ -179,7 +184,7 @@ func (g *generator) genMulti(modes []uint8, depth int) *task {
 		g.serialQ[qi] = g.serialQ[qi][n:]
 	}
 	for i, n := 0, 2+g.r.Intn(6); i < n; i++ {
-		switch g.r.Intn(9) {
+		switch g.r.Intn(11) {
 		case 0, 1: // push burst on one queue
 			qi := g.r.Intn(g.nq)
 			if modes[qi]&1 == 0 {
@@ -221,6 +226,19 @@ func (g *generator) genMulti(modes []uint8, depth int) *task {
 			consume(actTryPopN)
 		case 8: // consume a bounded number of values via ReadSlice
 			consume(actReadSliceN)
+		case 9: // push burst through a bound handle (scalar or bulk)
+			qi := g.r.Intn(g.nq)
+			if modes[qi]&1 == 0 {
+				continue
+			}
+			k := 1 + g.r.Intn(4)
+			td.acts = append(td.acts, action{kind: actBindPushN, q: qi, val: g.nextVal, n: k})
+			for j := 0; j < k; j++ {
+				g.serialQ[qi] = append(g.serialQ[qi], g.nextVal)
+				g.nextVal++
+			}
+		case 10: // consume a bounded number of values via Popper.PopInto
+			consume(actBindPopN)
 		}
 	}
 	return td
@@ -321,6 +339,42 @@ func (p *Program) Execute(workers, segCap int, policy swan.SpawnPolicy) map[int]
 						mu.Unlock()
 						qs[a.q].ConsumeRead(f, len(s))
 						remaining -= len(s)
+					}
+				case actBindPushN:
+					// Bound-handle producer: odd counts go value by value
+					// (scalar Push), even counts as one PushSlice — both
+					// shapes deterministically exercised across seeds.
+					pw := qs[a.q].BindPush(f)
+					if a.n%2 == 1 {
+						for j := 0; j < a.n; j++ {
+							pw.Push(a.val + j)
+						}
+					} else {
+						vals := make([]int, a.n)
+						for j := range vals {
+							vals[j] = a.val + j
+						}
+						pw.PushSlice(vals)
+					}
+				case actBindPopN:
+					// Bound-handle consumer: Empty-guarded bulk PopInto,
+					// same progress contract as the TryPop action — a false
+					// Empty means the next PopInto must transfer at least
+					// one value.
+					pp := qs[a.q].BindPop(f)
+					buf := make([]int, a.n)
+					for got := 0; got < a.n; {
+						if pp.Empty() {
+							break
+						}
+						n := pp.PopInto(buf[got:])
+						if n == 0 {
+							break
+						}
+						mu.Lock()
+						consumed[td.id] = append(consumed[td.id], buf[got:got+n]...)
+						mu.Unlock()
+						got += n
 					}
 				case actSync:
 					f.Sync()

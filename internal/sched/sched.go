@@ -259,6 +259,22 @@ type Frame struct {
 	live      int // outstanding children
 	attach    map[any]any
 	syncHooks []func()
+
+	// attachFast is the single-slot attachment fast path: the first key
+	// ever stored on the frame (for hyperqueue programs, by far the most
+	// common case: the one queue the task works on). Attachment reads it
+	// with one atomic load and an interface compare — no mutex, no map
+	// hash — which matters because dependence implementations resolve
+	// their per-frame state through Attachment on per-element hot paths.
+	// Invariant: the slot's key is never also present in the attach map.
+	attachFast atomic.Pointer[attachSlot]
+}
+
+// attachSlot is one immutable (key, value) attachment pair; SetAttachment
+// publishes a fresh slot on every update so readers never observe a torn
+// pair.
+type attachSlot struct {
+	key, val any
 }
 
 func newFrame(rt *Runtime, parent *Frame) *Frame {
@@ -639,8 +655,13 @@ func (f *Frame) WorkerID() int {
 
 // Attachment returns the attachment stored under key, or nil.
 // Attachments let dependence implementations hang per-frame state (such
-// as hyperqueue views) off a frame.
+// as hyperqueue views) off a frame. The first key stored on a frame is
+// served from a lock-free single-slot fast path; further keys fall back
+// to a mutex-guarded map.
 func (f *Frame) Attachment(key any) any {
+	if s := f.attachFast.Load(); s != nil && s.key == key {
+		return s.val
+	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.attach[key]
@@ -649,9 +670,13 @@ func (f *Frame) Attachment(key any) any {
 // SetAttachment stores v under key.
 func (f *Frame) SetAttachment(key any, v any) {
 	f.mu.Lock()
-	if f.attach == nil {
-		f.attach = make(map[any]any)
+	if s := f.attachFast.Load(); s == nil || s.key == key {
+		f.attachFast.Store(&attachSlot{key: key, val: v})
+	} else {
+		if f.attach == nil {
+			f.attach = make(map[any]any)
+		}
+		f.attach[key] = v
 	}
-	f.attach[key] = v
 	f.mu.Unlock()
 }

@@ -108,25 +108,33 @@ func RunHyperqueue(rt *swan.Runtime, data []byte, blockSize, segCap int) []byte 
 		f.Spawn(func(s12 *swan.Frame) {
 			q1 := swan.NewQueueWithCapacity[[]byte](s12, segCap)
 			s12.Spawn(func(c *swan.Frame) {
-				for _, blk := range SplitBlocks(data, blockSize) {
-					q1.Push(c, blk)
-				}
+				pw := q1.BindPush(c)
+				pw.PushSlice(SplitBlocks(data, blockSize))
 			}, swan.Push(q1))
 			s12.Spawn(func(c *swan.Frame) {
-				for !q1.Empty(c) {
-					blk := q1.Pop(c)
+				pp := q1.BindPop(c)
+				for !pp.Empty() {
+					blk := pp.Pop()
 					c.Spawn(func(g *swan.Frame) {
 						q2.Push(g, CompressBlock(blk))
 					}, swan.Push(q2))
 				}
 			}, swan.Pop(q1), swan.Push(q2))
+			s12.Sync()
+			if q1.CanRecycle(s12) {
+				q1.Recycle(s12) // drained: segments back to the runtime pool
+			}
 		}, swan.Push(q2))
 		f.Spawn(func(c *swan.Frame) {
-			for !q2.Empty(c) {
-				out = appendRecord(out, q2.Pop(c))
+			pp := q2.BindPop(c)
+			for !pp.Empty() {
+				out = appendRecord(out, pp.Pop())
 			}
 		}, swan.Pop(q2))
 		f.Sync()
+		if q2.CanRecycle(f) {
+			q2.Recycle(f)
+		}
 	})
 	return out
 }
@@ -135,11 +143,14 @@ func RunHyperqueue(rt *swan.Runtime, data []byte, blockSize, segCap int) []byte 
 // block loop is hoisted out of the producer task so that at most
 // batch blocks are queued per round, bounding memory growth when the
 // program executes serially while keeping the same parallelism. Each
-// round's dispatch task drains its slice of the queue and publishes all
-// of its compression tasks as one batched spawn (Frame.SpawnN): one
-// deque store and one worker wake sweep per round instead of one per
-// block. Output order is unchanged — SpawnN prepares the push
-// privileges in index order, which is pop order.
+// round is one bulk transfer end to end: the producer publishes its
+// blocks with a single PushSlice (one wake-up probe per round), the
+// round's dispatch task drains its visible slice with PopInto (one
+// reachability probe per segment) and publishes all of its compression
+// tasks as one batched spawn (Frame.SpawnN): one deque store and one
+// worker wake sweep per round instead of one per block. Output order is
+// unchanged — SpawnN prepares the push privileges in index order, which
+// is pop order.
 func RunHyperqueueLoopSplit(rt *swan.Runtime, data []byte, blockSize, segCap, batch int) []byte {
 	if batch < 1 {
 		batch = 8
@@ -149,36 +160,45 @@ func RunHyperqueueLoopSplit(rt *swan.Runtime, data []byte, blockSize, segCap, ba
 		q2 := swan.NewQueueWithCapacity[[]byte](f, segCap)
 		f.Spawn(func(s12 *swan.Frame) {
 			q1 := swan.NewQueueWithCapacity[[]byte](s12, segCap)
+			pw := q1.BindPush(s12)
 			blocks := SplitBlocks(data, blockSize)
 			for len(blocks) > 0 {
 				n := batch
 				if n > len(blocks) {
 					n = len(blocks)
 				}
-				for _, blk := range blocks[:n] {
-					q1.Push(s12, blk)
-				}
+				pw.PushSlice(blocks[:n])
 				blocks = blocks[n:]
 				s12.Spawn(func(c *swan.Frame) {
 					// Only this round's blocks are visible (pushes after
 					// this task's spawn are hidden by rule 4), so the
 					// drain collects at most batch blocks.
-					round := make([][]byte, 0, batch)
-					for !q1.Empty(c) {
-						round = append(round, q1.Pop(c))
+					pp := q1.BindPop(c)
+					round := make([][]byte, batch)
+					got := 0
+					for got < len(round) && !pp.Empty() {
+						got += pp.PopInto(round[got:])
 					}
-					c.SpawnN(len(round), func(g *swan.Frame, i int) {
+					c.SpawnN(got, func(g *swan.Frame, i int) {
 						q2.Push(g, CompressBlock(round[i]))
 					}, swan.Push(q2))
 				}, swan.Pop(q1), swan.Push(q2))
 			}
+			s12.Sync()
+			if q1.CanRecycle(s12) {
+				q1.Recycle(s12)
+			}
 		}, swan.Push(q2))
 		f.Spawn(func(c *swan.Frame) {
-			for !q2.Empty(c) {
-				out = appendRecord(out, q2.Pop(c))
+			pp := q2.BindPop(c)
+			for !pp.Empty() {
+				out = appendRecord(out, pp.Pop())
 			}
 		}, swan.Pop(q2))
 		f.Sync()
+		if q2.CanRecycle(f) {
+			q2.Recycle(f)
+		}
 	})
 	return out
 }

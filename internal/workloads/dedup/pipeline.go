@@ -213,18 +213,21 @@ func RunHyperqueue(rt *swan.Runtime, data []byte, o Options, segCap int) Result 
 					q := acquireLocalQ()
 					children = append(children, swan.BatchChild{
 						Body: func(c *swan.Frame) { // FragmentRefine
+							pw := q.BindPush(c)
 							for _, fine := range Refine(coarse, o) {
-								q.Push(c, &Chunk{Data: fine})
+								pw.Push(&Chunk{Data: fine})
 							}
 						},
 						Deps: []swan.Dep{swan.Push(q)},
 					}, swan.BatchChild{
 						Body: func(c *swan.Frame) { // DeduplicateAndCompress (merged, §6.2)
-							for !q.Empty(c) {
-								ch := q.Pop(c)
+							pp := q.BindPop(c)
+							ww := writeQ.BindPush(c)
+							for !pp.Empty() {
+								ch := pp.Pop()
 								Deduplicate(ch, store, o.DedupRounds)
 								Compress(ch)
-								writeQ.Push(c, ch)
+								ww.Push(ch)
 							}
 						},
 						Deps: []swan.Dep{swan.Pop(q), swan.Push(writeQ)},
@@ -235,11 +238,15 @@ func RunHyperqueue(rt *swan.Runtime, data []byte, o Options, segCap int) Result 
 			}
 		}, swan.Push(writeQ))
 		f.Spawn(func(c *swan.Frame) { // Output
-			for !writeQ.Empty(c) {
-				res.Stream, res.Checksum = output(res.Stream, res.Checksum, writeQ.Pop(c), o)
+			pp := writeQ.BindPop(c)
+			for !pp.Empty() {
+				res.Stream, res.Checksum = output(res.Stream, res.Checksum, pp.Pop(), o)
 			}
 		}, swan.Pop(writeQ))
 		f.Sync()
+		if writeQ.CanRecycle(f) {
+			writeQ.Recycle(f) // drained: segments back to the runtime pool
+		}
 	})
 	return res
 }

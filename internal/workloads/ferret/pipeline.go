@@ -185,7 +185,9 @@ func RunObjects(rt *swan.Runtime, c *Corpus, p Params) *Output {
 // Segmentation lets the unrestructured recursive traversal overlap the
 // rest of the pipeline, and a second hyperqueue between Ranking and
 // Output feeds one coarse output task that iterates over all queue
-// elements (§6.1).
+// elements (§6.1). Every stage loop runs on a bound handle, and both
+// queues are recycled once drained, so a reused runtime (paperbench
+// repetitions) starts its next run on warm segments.
 func RunHyperqueue(rt *swan.Runtime, c *Corpus, p Params, segCap int) *Output {
 	out := &Output{}
 	rt.Run(func(f *swan.Frame) {
@@ -193,7 +195,8 @@ func RunHyperqueue(rt *swan.Runtime, c *Corpus, p Params, segCap int) *Output {
 		f.Spawn(func(mid *swan.Frame) {
 			imgQ := swan.NewQueueWithCapacity[*Image](mid, segCap)
 			mid.Spawn(func(g *swan.Frame) { // Input: natural recursion
-				c.Root.Walk(func(id int) { imgQ.Push(g, c.LoadImage(id)) })
+				pw := imgQ.BindPush(g)
+				c.Root.Walk(func(id int) { pw.Push(c.LoadImage(id)) })
 			}, swan.Push(imgQ))
 			mid.Spawn(func(g *swan.Frame) { // dispatch middle stages
 				// Batched fan-out: take the head image (blocking — Empty
@@ -203,11 +206,12 @@ func RunHyperqueue(rt *swan.Runtime, c *Corpus, p Params, segCap int) *Output {
 				// batched spawn. Result order is unchanged: SpawnN
 				// prepares the outQ push privileges in index order.
 				const dispatchBatch = 8
-				for !imgQ.Empty(g) {
+				pp := imgQ.BindPop(g)
+				for !pp.Empty() {
 					batch := make([]*Image, 1, dispatchBatch)
-					batch[0] = imgQ.Pop(g)
+					batch[0] = pp.Pop()
 					for len(batch) < dispatchBatch {
-						img, ok := imgQ.TryPop(g)
+						img, ok := pp.TryPop()
 						if !ok {
 							break
 						}
@@ -218,13 +222,21 @@ func RunHyperqueue(rt *swan.Runtime, c *Corpus, p Params, segCap int) *Output {
 					}, swan.Push(outQ))
 				}
 			}, swan.Pop(imgQ), swan.Push(outQ))
+			mid.Sync()
+			if imgQ.CanRecycle(mid) {
+				imgQ.Recycle(mid) // drained: return its segments to the pool
+			}
 		}, swan.Push(outQ))
 		f.Spawn(func(g *swan.Frame) { // Output: one task iterating the queue
-			for !outQ.Empty(g) {
-				out.add(outQ.Pop(g))
+			pp := outQ.BindPop(g)
+			for !pp.Empty() {
+				out.add(pp.Pop())
 			}
 		}, swan.Pop(outQ))
 		f.Sync()
+		if outQ.CanRecycle(f) {
+			outQ.Recycle(f)
+		}
 	})
 	return out
 }

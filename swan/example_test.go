@@ -175,6 +175,39 @@ func ExampleQueue_Recycle() {
 	// 401
 }
 
+// ExampleQueue_BindPush shows the bound-handle hot path: each task
+// resolves its queue privileges once (BindPush / BindPop) and then moves
+// values through straight-line Push/Pop calls — the per-element regime
+// where the hyperqueue matches a buffered channel. Bulk transfers
+// (PushSlice, PopInto) cross segment boundaries in one call and pay the
+// consumer wake-up probe once per call instead of once per element.
+func ExampleQueue_BindPush() {
+	rt := swan.New(2)
+	rt.Run(func(f *swan.Frame) {
+		q := swan.NewQueue[int](f)
+		f.Spawn(func(c *swan.Frame) {
+			pw := q.BindPush(c)       // privilege resolution: once per body
+			pw.PushSlice([]int{1, 2}) // bulk: one wake-up probe
+			pw.Push(3)                // scalar: straight-line ring append
+		}, swan.Push(q))
+		f.Spawn(func(c *swan.Frame) {
+			pp := q.BindPop(c) // consumer role acquired once
+			buf := make([]int, 2)
+			for !pp.Empty() {
+				if n := pp.PopInto(buf); n > 0 { // bulk: values in serial order
+					fmt.Println(buf[:n])
+				} else {
+					fmt.Println(pp.Pop()) // a value is in flight: scalar pop
+				}
+			}
+		}, swan.Pop(q))
+		f.Sync()
+	})
+	// Output:
+	// [1 2]
+	// [3]
+}
+
 // ExampleQueue_selectiveSync is the paper's Figure 6: the owner waits for
 // its consumer child before inspecting what a later producer left behind.
 func ExampleQueue_selectiveSync() {

@@ -8,14 +8,17 @@ package swan
 // They remove the wiring boilerplate without hiding the model: each
 // helper spawns ordinary tasks with ordinary queue dependences, so
 // programs built from them remain serializable, deterministic and
-// scale-free.
+// scale-free. Every helper binds its queue handles once at task entry
+// (Queue.BindPush / Queue.BindPop), so their per-element loops run on
+// the amortized hot path.
 
 // Produce spawns a producer task with push privileges on q. The body
 // receives a push function bound to the task's frame; it may also spawn
 // its own nested producers through the frame.
 func Produce[T any](f *Frame, q *Queue[T], body func(c *Frame, push func(T))) {
 	f.Spawn(func(c *Frame) {
-		body(c, func(v T) { q.Push(c, v) })
+		pw := q.BindPush(c)
+		body(c, pw.Push)
 	}, Push(q))
 }
 
@@ -29,8 +32,9 @@ func Produce[T any](f *Frame, q *Queue[T], body func(c *Frame, push func(T))) {
 // on out (the queue owner does).
 func TransformEach[I, O any](f *Frame, in *Queue[I], out *Queue[O], fn func(I) O) {
 	f.Spawn(func(c *Frame) {
-		for !in.Empty(c) {
-			v := in.Pop(c)
+		pp := in.BindPop(c)
+		for !pp.Empty() {
+			v := pp.Pop()
 			c.Spawn(func(g *Frame) {
 				out.Push(g, fn(v))
 			}, Push(out))
@@ -43,9 +47,10 @@ func TransformEach[I, O any](f *Frame, in *Queue[I], out *Queue[O], fn func(I) O
 // merged-stage idiom dedup uses to coarsen task granularity (§6.2).
 func TransformSerial[I, O any](f *Frame, in *Queue[I], out *Queue[O], fn func(I, func(O))) {
 	f.Spawn(func(c *Frame) {
-		emit := func(v O) { out.Push(c, v) }
-		for !in.Empty(c) {
-			fn(in.Pop(c), emit)
+		pp := in.BindPop(c)
+		pw := out.BindPush(c)
+		for !pp.Empty() {
+			fn(pp.Pop(), pw.Push)
 		}
 	}, Pop(in), Push(out))
 }
@@ -54,8 +59,9 @@ func TransformSerial[I, O any](f *Frame, in *Queue[I], out *Queue[O], fn func(I,
 // q, in deterministic serial order, and applies fn.
 func Drain[T any](f *Frame, q *Queue[T], fn func(T)) {
 	f.Spawn(func(c *Frame) {
-		for !q.Empty(c) {
-			fn(q.Pop(c))
+		pp := q.BindPop(c)
+		for !pp.Empty() {
+			fn(pp.Pop())
 		}
 	}, Pop(q))
 }
@@ -67,16 +73,17 @@ func DrainSlices[T any](f *Frame, q *Queue[T], batch int, fn func([]T)) {
 		batch = 64
 	}
 	f.Spawn(func(c *Frame) {
-		for !q.Empty(c) {
-			s := q.ReadSlice(c, batch)
+		pp := q.BindPop(c)
+		for !pp.Empty() {
+			s := pp.ReadSlice(batch)
 			if len(s) == 0 {
 				// Empty returned false, so a value is in flight; fall
 				// back to a single pop to make progress.
-				fn([]T{q.Pop(c)})
+				fn([]T{pp.Pop()})
 				continue
 			}
 			fn(s)
-			q.ConsumeRead(c, len(s))
+			pp.ConsumeRead(len(s))
 		}
 	}, Pop(q))
 }

@@ -1,0 +1,31 @@
+package swan
+
+import "repro/internal/core"
+
+// RuntimeStats is a snapshot of a runtime's resource counters: the
+// scheduler's dispatch activity and the hyperqueue layer's runtime-wide
+// recycling gauges (the per-Runtime segment pool and Queue.Recycle).
+// It is a diagnostic surface — cmd/paperbench -stats prints it after a
+// run — not a hot-path primitive.
+type RuntimeStats struct {
+	Workers        int    // worker slots the runtime was built with
+	PooledSegments int    // segments currently cached across all pools
+	RecycledQueues uint64 // completed Queue.Recycle resets
+	Spawns         uint64 // tasks dispatched (PolicySteal only)
+	Steals         uint64 // successful deque steals (PolicySteal only)
+	Parks          uint64 // worker sleeps for lack of work (PolicySteal only)
+}
+
+// Stats reports a snapshot of rt's runtime-wide counters.
+func Stats(rt *Runtime) RuntimeStats {
+	s := rt.Stats()
+	prov := core.ProviderOf(rt)
+	return RuntimeStats{
+		Workers:        rt.Workers(),
+		PooledSegments: prov.PooledSegments(),
+		RecycledQueues: prov.RecycledQueues(),
+		Spawns:         s.Spawns,
+		Steals:         s.Steals,
+		Parks:          s.Parks,
+	}
+}

@@ -1,0 +1,46 @@
+package swan_test
+
+import (
+	"testing"
+
+	"repro/swan"
+)
+
+// TestStats pins the RuntimeStats surface: after a run that recycles a
+// queue, the runtime-wide counters report the recycle and the pooled
+// segments, and the scheduler counters reflect the dispatch activity.
+func TestStats(t *testing.T) {
+	rt := swan.New(2)
+	rt.Run(func(f *swan.Frame) {
+		// Small segments so the 100-value stream spans several: the
+		// consumer's drain and the final Recycle leave them in the pool.
+		q := swan.NewQueueWithCapacity[int](f, 16)
+		f.Spawn(func(c *swan.Frame) {
+			pw := q.BindPush(c)
+			for i := 0; i < 100; i++ {
+				pw.Push(i)
+			}
+		}, swan.Push(q))
+		f.Spawn(func(c *swan.Frame) {
+			pp := q.BindPop(c)
+			for !pp.Empty() {
+				pp.Pop()
+			}
+		}, swan.Pop(q))
+		f.Sync()
+		q.Recycle(f)
+	})
+	s := swan.Stats(rt)
+	if s.Workers != 2 {
+		t.Errorf("Workers = %d, want 2", s.Workers)
+	}
+	if s.RecycledQueues != 1 {
+		t.Errorf("RecycledQueues = %d, want 1", s.RecycledQueues)
+	}
+	if s.PooledSegments < 1 {
+		t.Errorf("PooledSegments = %d, want >= 1 (the recycled queue returned its chain)", s.PooledSegments)
+	}
+	if s.Spawns < 2 {
+		t.Errorf("Spawns = %d, want >= 2", s.Spawns)
+	}
+}

@@ -81,6 +81,23 @@ type BatchChild = sched.BatchChild
 // Queue is a hyperqueue of values of type T (paper §2–§4).
 type Queue[T any] = core.Queue[T]
 
+// Pusher is a push handle bound to one task body by Queue.BindPush: the
+// privilege resolution Queue.Push repeats per element (view-set lookup,
+// privilege check, pool-shard derivation) is done once at bind time, so
+// steady-state Push is a straight-line segment-ring append and PushSlice
+// moves whole slices across segment boundaries with one consumer wake-up
+// probe per call. Bind in any task body that moves more than a couple of
+// values; handles must not outlive the body they were bound in.
+type Pusher[T any] = core.Pusher[T]
+
+// Popper is the pop-side bound handle (Queue.BindPop): it acquires the
+// consumer role once and exposes Pop, TryPop, Empty, bulk PopInto and
+// the §5.2 ReadSlice/ConsumeRead pair without per-element privilege
+// resolution. Pop children spawned after the bind still serialize before
+// the binder's later pops — the handle revalidates the consumer ticket
+// on each access.
+type Popper[T any] = core.Popper[T]
+
 // Versioned is a dataflow variable of type T with automatic versioning
 // (renaming) to break artificial dependences.
 type Versioned[T any] = dataflow.Versioned[T]
