@@ -640,3 +640,38 @@ func BenchmarkHarnessMeasure(b *testing.B) {
 		bench.Measure(1, 1, func() {})
 	}
 }
+
+// BenchmarkBoundedVsUnbounded prices PR 6's flow control on the same
+// 1P/1C bound-handle ring as BenchmarkBoundVsUnbound: mode=unbounded is
+// the plain queue (the nil flow-state check is the only addition to the
+// PR 5 hot path), mode=bounded runs under an ample budget (credits
+// always remain — the credit accounting is two atomics per element and
+// the path must stay allocation-free, which CI gates), and mode=tight
+// runs under real backpressure (bound 64, producers park and wake).
+// ns/op is per element in all three modes.
+func BenchmarkBoundedVsUnbounded(b *testing.B) {
+	run := func(b *testing.B, opts ...core.QueueOption) {
+		b.ReportAllocs()
+		rt := sched.New(2)
+		rt.Run(func(f *sched.Frame) {
+			q := core.NewWithCapacity[int](f, 256, opts...)
+			b.ResetTimer()
+			f.Spawn(func(c *sched.Frame) {
+				pw := q.BindPush(c)
+				for i := 0; i < b.N; i++ {
+					pw.Push(i)
+				}
+			}, core.Push(q))
+			f.Spawn(func(c *sched.Frame) {
+				pp := q.BindPop(c)
+				for i := 0; i < b.N; i++ {
+					pp.Pop()
+				}
+			}, core.Pop(q))
+			f.Sync()
+		})
+	}
+	b.Run("mode=unbounded", func(b *testing.B) { run(b) })
+	b.Run("mode=bounded", func(b *testing.B) { run(b, core.Bounded(1<<30)) })
+	b.Run("mode=tight", func(b *testing.B) { run(b, core.Bounded(64)) })
+}

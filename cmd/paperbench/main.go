@@ -4,10 +4,13 @@
 //
 // Usage:
 //
-//	paperbench [-exp all|table1|table2|fig8|fig11|bzip2] [-scale N] [-cores N] [-reps N] [-sched steal|goroutine] [-stats]
+//	paperbench [-exp all|table1|table2|fig8|fig11|bzip2] [-scale N] [-cores N] [-reps N] [-sched steal|goroutine] [-stats] [-metrics addr]
 //
 // Scale 1 keeps each experiment in the seconds range; the paper-like
-// regime is -scale 4 or higher.
+// regime is -scale 4 or higher. -metrics serves a live Prometheus-text
+// endpoint over every runtime the experiments create (curl the printed
+// URL while they run); -stats prints the same counters, including one
+// row per metered queue, after the experiments finish.
 package main
 
 import (
@@ -26,7 +29,8 @@ func main() {
 	cores := flag.Int("cores", runtime.NumCPU(), "maximum cores to sweep")
 	reps := flag.Int("reps", 2, "repetitions per configuration (best-of)")
 	schedPolicy := flag.String("sched", "steal", "scheduler substrate for the Swan runtimes: steal (work-stealing deques) or goroutine (goroutine-per-task baseline)")
-	showStats := flag.Bool("stats", false, "print per-runtime resource stats (pooled segments, recycled queues, spawns/steals) after the experiments")
+	showStats := flag.Bool("stats", false, "print per-runtime resource stats (pooled segments, recycled queues, spawns/steals, metered queues) after the experiments")
+	metricsAddr := flag.String("metrics", "", "serve a live Prometheus-text metrics endpoint on this address while experiments run (e.g. 127.0.0.1:9090; empty disables)")
 	flag.Parse()
 
 	switch *schedPolicy {
@@ -60,7 +64,15 @@ func main() {
 			os.Exit(2)
 		}
 	}
-	bench.CollectRuntimeStats(*showStats)
+	bench.CollectRuntimeStats(*showStats || *metricsAddr != "")
+	if *metricsAddr != "" {
+		addr, err := bench.ServeMetrics(*metricsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metrics endpoint: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("serving metrics at http://%s/metrics\n", addr)
+	}
 	fmt.Printf("# Hyperqueue reproduction — %d cores available, scale %d, scheduler %s\n\n", runtime.NumCPU(), *scale, sched.DefaultPolicy())
 	if *exp == "all" {
 		for _, e := range []string{"table1", "table2", "fig8", "fig11", "bzip2"} {

@@ -4,7 +4,14 @@
 // deterministic: the exponentially weighted moving average depends on
 // arrival order, which the hyperqueue fixes to serial program order.
 //
-// Run: go run ./examples/streamstats [-workers N] [-samples N]
+// The sample queue is Named, so the run is observable: -metrics serves
+// the live Prometheus-text endpoint while the pipeline runs, and the
+// queue's meter (occupancy, high-water, wake counters) is printed at
+// the end. The queue stays unbounded — the sensors are concurrent
+// producers, which may publish out of serial order, the case the
+// backpressure discipline excludes (see OPERATIONS.md).
+//
+// Run: go run ./examples/streamstats [-workers N] [-samples N] [-metrics addr]
 package main
 
 import (
@@ -21,9 +28,19 @@ func main() {
 	workers := flag.Int("workers", runtime.NumCPU(), "worker slots")
 	samples := flag.Int("samples", 1_000_000, "total sensor samples")
 	sensors := flag.Int("sensors", 16, "parallel sensor producers")
+	metrics := flag.String("metrics", "", "serve live metrics on this address during the run (e.g. 127.0.0.1:9090)")
 	flag.Parse()
 
 	rt := swan.New(*workers)
+	if *metrics != "" {
+		ms, err := swan.ServeMetrics(rt, *metrics)
+		if err != nil {
+			fmt.Println("metrics endpoint:", err)
+		} else {
+			defer ms.Close()
+			fmt.Println("serving metrics at", ms.URL())
+		}
+	}
 	var (
 		count int
 		mean  float64 // EWMA — order-dependent, so determinism matters
@@ -32,7 +49,7 @@ func main() {
 	)
 
 	rt.Run(func(f *swan.Frame) {
-		q := swan.NewQueueWithCapacity[float64](f, 4096)
+		q := swan.NewQueueWithCapacity[float64](f, 4096, swan.Named("sensor.samples"))
 
 		// Producers: one per simulated sensor, bulk-writing via slices.
 		perSensor := *samples / *sensors
@@ -73,5 +90,9 @@ func main() {
 		count, *sensors, *workers)
 	fmt.Printf("running mean=%.4f stddev=%.4f ewma=%.4f\n",
 		wmean, math.Sqrt(m2/float64(count-1)), mean)
+	for _, qs := range swan.Stats(rt).Queues {
+		fmt.Printf("queue %s: pushed=%d popped=%d high-water=%d consumer blocks=%d wakes=%d\n",
+			qs.Name, qs.Pushed, qs.Popped, qs.HighWater, qs.ConsumerBlocks, qs.ConsumerWakes)
+	}
 	fmt.Println("(re-run with any -workers value: the numbers are identical — deterministic order)")
 }

@@ -2,6 +2,8 @@ package bench
 
 import (
 	"fmt"
+	"net"
+	"net/http"
 	"strings"
 	"sync"
 
@@ -13,7 +15,9 @@ import (
 // when collection is enabled, and RuntimeStatsReport renders the
 // aggregated swan.Stats counters after the experiments ran. Collection
 // is off by default so plain benchmark runs retain no runtime
-// references.
+// references. ServeMetrics additionally exposes the collected runtimes
+// as one live Prometheus-text endpoint (cmd/paperbench -metrics), so
+// occupancy and block counters can be scraped while experiments run.
 
 var (
 	statsMu       sync.Mutex
@@ -43,34 +47,78 @@ func newRuntime(cores int) *swan.Runtime {
 	return rt
 }
 
+// collected snapshots the registered runtime list.
+func collected() []*swan.Runtime {
+	statsMu.Lock()
+	defer statsMu.Unlock()
+	return statsRuntimes
+}
+
+// ServeMetrics starts an HTTP endpoint serving the Prometheus-text
+// metrics of every collected runtime (label rt="<index>") at /metrics,
+// re-reading the registration list on every scrape so runtimes created
+// mid-run appear as the experiments progress. It returns the listen
+// address. The caller should have enabled CollectRuntimeStats first.
+func ServeMetrics(addr string) (string, error) {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = swan.WriteMetricsMulti(w, collected())
+	})
+	mux := http.NewServeMux()
+	mux.Handle("/", h)
+	mux.Handle("/metrics", h)
+	go func() { _ = (&http.Server{Handler: mux}).Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
 // RuntimeStatsReport renders the per-runtime and aggregate counters of
 // every runtime collected since CollectRuntimeStats(true): pooled
-// segments and recycled queues (the hyperqueue lifecycle gauges) plus
-// scheduler dispatch activity.
+// segments and recycled queues (the hyperqueue lifecycle gauges),
+// scheduler dispatch activity, and one row per metered (Bounded or
+// Named) queue with its occupancy, high-water and block/wake counters.
 func RuntimeStatsReport() string {
-	statsMu.Lock()
-	rts := statsRuntimes
-	statsMu.Unlock()
+	rts := collected()
 	var b strings.Builder
 	fmt.Fprintf(&b, "## Runtime stats (%d Swan runtimes)\n\n", len(rts))
 	if len(rts) == 0 {
 		b.WriteString("no runtimes collected (enable with CollectRuntimeStats before running experiments)\n")
 		return b.String()
 	}
-	b.WriteString("| Workers | Pooled segments | Recycled queues | Spawns | Steals | Parks |\n")
-	b.WriteString("|---------|-----------------|-----------------|--------|--------|-------|\n")
+	b.WriteString("| Workers | Pooled segments | Segment allocs | Recycled queues | Spawns | Steals | Parks | Blocks |\n")
+	b.WriteString("|---------|-----------------|----------------|-----------------|--------|--------|-------|--------|\n")
 	var total swan.RuntimeStats
+	var queues []swan.QueueStats
 	for _, rt := range rts {
 		s := swan.Stats(rt)
-		fmt.Fprintf(&b, "| %d | %d | %d | %d | %d | %d |\n",
-			s.Workers, s.PooledSegments, s.RecycledQueues, s.Spawns, s.Steals, s.Parks)
+		fmt.Fprintf(&b, "| %d | %d | %d | %d | %d | %d | %d | %d |\n",
+			s.Workers, s.PooledSegments, s.SegmentAllocs, s.RecycledQueues, s.Spawns, s.Steals, s.Parks, s.Blocks)
 		total.PooledSegments += s.PooledSegments
+		total.SegmentAllocs += s.SegmentAllocs
 		total.RecycledQueues += s.RecycledQueues
 		total.Spawns += s.Spawns
 		total.Steals += s.Steals
 		total.Parks += s.Parks
+		total.Blocks += s.Blocks
+		queues = append(queues, s.Queues...)
 	}
-	fmt.Fprintf(&b, "\ntotal: %d pooled segments, %d recycled queues, %d spawns, %d steals, %d parks\n",
-		total.PooledSegments, total.RecycledQueues, total.Spawns, total.Steals, total.Parks)
+	fmt.Fprintf(&b, "\ntotal: %d pooled segments, %d segment allocs, %d recycled queues, %d spawns, %d steals, %d parks, %d blocks\n",
+		total.PooledSegments, total.SegmentAllocs, total.RecycledQueues, total.Spawns, total.Steals, total.Parks, total.Blocks)
+	if len(queues) > 0 {
+		b.WriteString("\n### Metered queues\n\n")
+		b.WriteString("| Queue | Bound | Occupancy | High water | Pushed | Popped | Prod blocks | Prod wakes | Cons blocks | Cons wakes |\n")
+		b.WriteString("|-------|-------|-----------|------------|--------|--------|-------------|------------|-------------|------------|\n")
+		for _, q := range queues {
+			fmt.Fprintf(&b, "| %s | %d | %d | %d | %d | %d | %d | %d | %d | %d |\n",
+				q.Name, q.Bound, q.Occupancy, q.HighWater, q.Pushed, q.Popped,
+				q.ProducerBlocks, q.ProducerWakes, q.ConsumerBlocks, q.ConsumerWakes)
+		}
+	}
 	return b.String()
 }

@@ -399,13 +399,6 @@ func TestDeepRecursiveProducers(t *testing.T) {
 	}
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
 // TestManyValuesThroughput pushes a large volume through a small segment
 // chain under full parallelism with the race detector watching.
 func TestManyValuesThroughput(t *testing.T) {

@@ -1,0 +1,271 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sched"
+)
+
+// Bounded queues and flow control. The paper's hyperqueues are unbounded
+// by construction — a producer never waits — which is the right model for
+// batch pipelines but unsafe for long-running streaming services: a
+// producer that outruns its consumer grows the segment chain (and the
+// heap) without limit and nothing observes it. This file adds the
+// producer-side dual of the consumer's emptyWait: an optional per-queue
+// element budget (Bounded) enforced by credit accounting, plus the
+// occupancy/high-water/block metering that makes a running pipeline
+// observable (Named, QueueStat, the swan metrics endpoint).
+//
+// Credits. A bounded queue starts with bound credits. Every push takes
+// one credit before it touches a segment; every value the consumer moves
+// past — Pop, TryPop, PopInto, ConsumeRead — returns one. When credits
+// run out the producer spins briefly (the consumer is usually one pop
+// away), then parks on a producer-side condition variable inside
+// Frame.Block, so the scheduler releases the task's run token and a
+// blocked producer can never starve the consumer of execution capacity.
+// Wake-ups follow the same sleeper-counting rule as the consumer cond
+// (wakeLocked): Signal when exactly one producer sleeps, Broadcast
+// otherwise.
+//
+// Lock order. prodMu is a leaf lock, disjoint from the consMu/regMu
+// hierarchy: it is only ever taken with no other queue lock held (the
+// producer's park runs before any segment work, the consumer's release
+// runs after the head advance, outside both locks). It can therefore
+// never participate in a lock cycle with the view machinery.
+//
+// Deadlock freedom. Scheduler-level: a blocked Push routes through
+// Frame.Block, which starts a compensating worker (PolicySteal) or
+// releases the slot (PolicyGoroutine), so the consumer always has
+// capacity to run, exactly as the consumer-side emptyWait guarantees the
+// mirror case. Queue-level: credits are granted in arrival order while
+// the consumer drains in serial program order, so a program whose
+// producers run concurrently out of serial order can fill the bound with
+// values the consumer cannot yet reach and wedge — see the in-order
+// production discipline in OPERATIONS.md and the deadlock-freedom
+// argument in ARCHITECTURE.md. Single-producer stages (the pipeline
+// helpers, Produce, TransformSerial) are deadlock-free for any bound ≥ 1.
+
+// creditSpins bounds the producer's yield-spin on an exhausted budget
+// before it falls back to the capacity-releasing park, mirroring the
+// consumer's emptySpins rationale: in steady state the next credit is
+// one pop away.
+const creditSpins = 64
+
+// QueueOption configures a queue at construction (New,
+// NewWithCapacity).
+type QueueOption func(*queueOpts)
+
+type queueOpts struct {
+	bound int
+	name  string
+}
+
+// Bounded caps the queue at n buffered values. Push and PushSlice block
+// — releasing the worker slot via Frame.Block — once n values are in
+// flight, and resume as the consumer drains. n < 1 is treated as 1. The
+// default (no option) keeps the paper's unbounded semantics. A bounded
+// queue is automatically metered (see Named).
+func Bounded(n int) QueueOption {
+	return func(o *queueOpts) {
+		if n < 1 {
+			n = 1
+		}
+		o.bound = n
+	}
+}
+
+// Named meters the queue under the given name: occupancy, high-water and
+// block/wake counters become visible in the runtime's QueueStats (and
+// the swan metrics endpoint). Metering costs two atomic adds per element
+// on the push/pop paths; plain unbounded queues pay only a nil check.
+func Named(name string) QueueOption {
+	return func(o *queueOpts) { o.name = name }
+}
+
+// QueueStat is a point-in-time snapshot of one metered queue's gauges
+// and counters, reported by PoolProvider.QueueStats (runtime-wide) and
+// Queue.Metrics (single queue). Counters are cumulative across Recycle.
+type QueueStat struct {
+	Name           string // Named value, or "queue-N" for auto-named bounded queues
+	Bound          int    // element budget; 0 = unbounded (metering only)
+	Occupancy      int64  // values currently buffered (pushed - popped)
+	HighWater      int64  // maximum occupancy ever observed
+	Pushed         uint64 // values ever pushed
+	Popped         uint64 // values ever popped
+	ProducerBlocks uint64 // producer parks on an exhausted budget
+	ProducerWakes  uint64 // credit releases that found a parked producer
+	ConsumerBlocks uint64 // consumer parks waiting for data (emptyWait)
+	ConsumerWakes  uint64 // pushes that found a parked consumer
+}
+
+// flowState is the per-queue flow-control block, allocated only for
+// bounded or named queues; q.flow == nil is the plain unbounded case and
+// keeps the hot paths branch-predictable with zero extra atomics.
+type flowState struct {
+	name  string
+	bound int64 // 0 = metering only, no credit accounting
+
+	// credits is the remaining element budget. Producers take with a CAS
+	// loop (partial grants allowed — PushSlice moves what it can and
+	// comes back for the rest); consumers return with a plain Add.
+	credits atomic.Int64
+
+	// Metering. pushed/popped are the occupancy decomposition (monotone
+	// counters race-free to read independently); highWater is maintained
+	// by CAS-max on the push side only.
+	pushed    atomic.Uint64
+	popped    atomic.Uint64
+	highWater atomic.Int64
+
+	prodBlocks atomic.Uint64
+	prodWakes  atomic.Uint64
+	consBlocks atomic.Uint64
+	consWakes  atomic.Uint64
+
+	// Producer park state. pushWaiters mirrors Queue.waiters: the
+	// consumer's release probes it with one atomic load and skips prodMu
+	// entirely in the no-waiter steady state. Lost wakeups are
+	// impossible for the same reason as on the consumer side: a producer
+	// increments pushWaiters under prodMu before re-checking credits, so
+	// a releasing consumer either observes the waiter (and its wake
+	// serializes through prodMu) or added the credits before the
+	// producer's re-check (and the producer does not wait).
+	pushWaiters  atomic.Int32
+	prodMu       sync.Mutex
+	prodCond     *sync.Cond
+	prodSleepers int // producers inside the cond.Wait loop; guarded by prodMu
+}
+
+func newFlowState(name string, bound int) *flowState {
+	fl := &flowState{name: name, bound: int64(bound)}
+	fl.credits.Store(int64(bound))
+	fl.prodCond = sync.NewCond(&fl.prodMu)
+	return fl
+}
+
+// acquire blocks until at least one credit is available, takes up to
+// want of them, meters the pushes, and returns the number taken. On an
+// unbounded metered queue it never blocks and grants want whole.
+func (fl *flowState) acquire(f *sched.Frame, want int64) int64 {
+	take := want
+	if fl.bound > 0 {
+		take = fl.takeCredits(f, want)
+	}
+	occ := int64(fl.pushed.Add(uint64(take)) - fl.popped.Load())
+	for {
+		hw := fl.highWater.Load()
+		if occ <= hw || fl.highWater.CompareAndSwap(hw, occ) {
+			break
+		}
+	}
+	return take
+}
+
+func (fl *flowState) takeCredits(f *sched.Frame, want int64) int64 {
+	for {
+		cur := fl.credits.Load()
+		if cur > 0 {
+			take := min(want, cur)
+			if fl.credits.CompareAndSwap(cur, cur-take) {
+				return take
+			}
+			continue
+		}
+		fl.waitForCredit(f)
+	}
+}
+
+// waitForCredit spins briefly and then parks the producer until the
+// budget is replenished. The caller re-runs the CAS loop afterwards:
+// the wake is a hint, not a grant.
+func (fl *flowState) waitForCredit(f *sched.Frame) {
+	for i := 0; i < creditSpins; i++ {
+		runtime.Gosched()
+		if fl.credits.Load() > 0 {
+			return
+		}
+	}
+	fl.prodBlocks.Add(1)
+	f.Block(func() {
+		fl.prodMu.Lock()
+		fl.pushWaiters.Add(1)
+		fl.prodSleepers++
+		for fl.credits.Load() <= 0 {
+			fl.prodCond.Wait()
+		}
+		fl.prodSleepers--
+		fl.pushWaiters.Add(-1)
+		fl.prodMu.Unlock()
+	})
+}
+
+// release returns n credits after the consumer advanced the head past n
+// values, and wakes parked producers. The steady-state cost on an
+// unblocked bounded queue is two atomic adds and one atomic load.
+func (fl *flowState) release(n int64) {
+	fl.popped.Add(uint64(n))
+	if fl.bound == 0 {
+		return
+	}
+	fl.credits.Add(n)
+	if fl.pushWaiters.Load() == 0 {
+		return
+	}
+	fl.prodWakes.Add(1)
+	fl.prodMu.Lock()
+	switch fl.prodSleepers {
+	case 0:
+	case 1:
+		fl.prodCond.Signal()
+	default:
+		fl.prodCond.Broadcast()
+	}
+	fl.prodMu.Unlock()
+}
+
+// rearm resets the credit budget to the full bound. Only Recycle calls
+// it, at a point where the queue is verified drained and no producer is
+// live, so no credits can be in flight.
+func (fl *flowState) rearm() {
+	if fl.bound > 0 {
+		fl.credits.Store(fl.bound)
+	}
+}
+
+// snapshot reads the meter. Counters are loaded independently — the
+// snapshot is internally consistent enough for a diagnostic surface, not
+// a linearizable read.
+func (fl *flowState) snapshot() QueueStat {
+	pushed, popped := fl.pushed.Load(), fl.popped.Load()
+	return QueueStat{
+		Name:           fl.name,
+		Bound:          int(fl.bound),
+		Occupancy:      int64(pushed - popped),
+		HighWater:      fl.highWater.Load(),
+		Pushed:         pushed,
+		Popped:         popped,
+		ProducerBlocks: fl.prodBlocks.Load(),
+		ProducerWakes:  fl.prodWakes.Load(),
+		ConsumerBlocks: fl.consBlocks.Load(),
+		ConsumerWakes:  fl.consWakes.Load(),
+	}
+}
+
+// Bound reports the queue's element budget (0 = unbounded).
+func (q *Queue[T]) Bound() int {
+	if q.flow == nil {
+		return 0
+	}
+	return int(q.flow.bound)
+}
+
+// Metrics reports the queue's meter snapshot. ok is false for plain
+// unbounded queues, which are not metered.
+func (q *Queue[T]) Metrics() (stat QueueStat, ok bool) {
+	if q.flow == nil {
+		return QueueStat{}, false
+	}
+	return q.flow.snapshot(), true
+}

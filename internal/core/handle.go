@@ -58,6 +58,9 @@ func (q *Queue[T]) BindPush(f *sched.Frame) Pusher[T] {
 // deadlock it. Bulk transfers amortize the probe safely — see PushSlice.
 func (p *Pusher[T]) Push(v T) {
 	qv := p.qv
+	if fl := p.q.flow; fl != nil {
+		fl.acquire(qv.frame, 1) // blocks on an exhausted bound (flow.go)
+	}
 	if !qv.user.valid {
 		p.q.attachFreshSegment(qv)
 	}
@@ -81,35 +84,46 @@ func (p *Pusher[T]) Push(v T) {
 // one tail store per span, and the consumer wake-up probe runs once for
 // the whole call instead of once per element. Pooled segments are
 // linked when the tail fills, exactly as scalar pushes would.
+//
+// On a bounded queue the slice moves in credit-sized chunks: a call
+// larger than the remaining budget — or than the whole bound — publishes
+// what the budget allows, wakes the consumer so the chunk can drain, and
+// blocks for more credits, so bulk producers make progress through any
+// bound ≥ 1 instead of deadlocking on an all-or-nothing reservation.
 func (p *Pusher[T]) PushSlice(vs []T) {
 	if len(vs) == 0 {
 		return
 	}
 	q, qv := p.q, p.qv
 	for len(vs) > 0 {
-		if !qv.user.valid {
-			q.attachFreshSegment(qv)
+		chunk := vs
+		if fl := q.flow; fl != nil {
+			n := fl.acquire(qv.frame, int64(len(vs)))
+			chunk = vs[:n]
 		}
-		seg := qv.user.tail
-		if seg == nil {
-			panic("hyperqueue: user view has non-local tail at push (internal invariant broken)")
+		vs = vs[len(chunk):]
+		for len(chunk) > 0 {
+			if !qv.user.valid {
+				q.attachFreshSegment(qv)
+			}
+			seg := qv.user.tail
+			if seg == nil {
+				panic("hyperqueue: user view has non-local tail at push (internal invariant broken)")
+			}
+			start, free := seg.contiguousWritable()
+			if free == 0 { // zero contiguous free ⟺ segment full
+				snew := q.pool.get(p.shard)
+				seg.next.Store(snew)
+				qv.user.tail = snew
+				continue
+			}
+			take := min(int64(len(chunk)), free)
+			copy(seg.buf[start:start+take], chunk[:take])
+			seg.tail.Add(take) // release: publishes the whole span at once
+			chunk = chunk[take:]
 		}
-		start, free := seg.contiguousWritable()
-		if free == 0 { // zero contiguous free ⟺ segment full
-			snew := q.pool.get(p.shard)
-			seg.next.Store(snew)
-			qv.user.tail = snew
-			continue
-		}
-		take := int64(len(vs))
-		if take > free {
-			take = free
-		}
-		copy(seg.buf[start:start+take], vs[:take])
-		seg.tail.Add(take) // release: publishes the whole span at once
-		vs = vs[take:]
+		q.wakeConsumer()
 	}
-	q.wakeConsumer()
 }
 
 // Popper is a pop-privileged handle on a queue, bound to one task body
@@ -156,7 +170,11 @@ func (p *Popper[T]) Pop() T {
 	if !p.q.reachableData() && p.q.emptyWait(p.qv.frame, p.qv) {
 		panic("hyperqueue: pop on permanently empty queue")
 	}
-	return p.q.headView.head.pop()
+	v := p.q.headView.head.pop()
+	if fl := p.q.flow; fl != nil {
+		fl.release(1) // credit the budget back; wakes blocked producers
+	}
+	return v
 }
 
 // TryPop is Queue.TryPop through the binding: the head value if one is
@@ -168,7 +186,11 @@ func (p *Popper[T]) TryPop() (T, bool) {
 		var zero T
 		return zero, false
 	}
-	return p.q.headView.head.pop(), true
+	v := p.q.headView.head.pop()
+	if fl := p.q.flow; fl != nil {
+		fl.release(1)
+	}
+	return v, true
 }
 
 // PopInto fills dst with as many immediately-reachable values as fit,
@@ -197,6 +219,11 @@ func (p *Popper[T]) PopInto(dst []T) int {
 		clear(s.buf[start : start+take]) // drop references for the garbage collector
 		s.head.Add(take)                 // release: frees the slots to the producer
 		n += int(take)
+	}
+	if n > 0 {
+		if fl := p.q.flow; fl != nil {
+			fl.release(int64(n)) // one batched credit return per call
+		}
 	}
 	return n
 }
@@ -230,4 +257,9 @@ func (p *Popper[T]) ConsumeRead(n int) {
 	start, _ := s.contiguousReadable()
 	clear(s.buf[start : start+int64(n)]) // drop references for the garbage collector
 	s.head.Add(int64(n))
+	if n > 0 {
+		if fl := p.q.flow; fl != nil {
+			fl.release(int64(n))
+		}
+	}
 }

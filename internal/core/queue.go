@@ -107,6 +107,11 @@ type Queue[T any] struct {
 	producers map[*sched.Frame]struct{}
 	nlctr     uint64 // non-local pair id allocator
 
+	// flow is the bounded-capacity / metering block (flow.go), nil for
+	// plain unbounded queues — the hot paths pay a single predictable
+	// nil check in that case. Immutable after construction.
+	flow *flowState
+
 	// pool is the runtime-wide segment pool for this queue's element type
 	// and segment capacity, resolved through the runtime's PoolProvider
 	// at construction. Shared with every other such queue of the runtime.
@@ -161,8 +166,11 @@ type qviews[T any] struct {
 type queueKey[T any] struct{ q *Queue[T] }
 
 // New creates a hyperqueue owned by frame f with the default segment
-// capacity.
-func New[T any](f *sched.Frame) *Queue[T] { return NewWithCapacity[T](f, DefaultSegmentCapacity) }
+// capacity. Options (Bounded, Named) configure flow control and
+// metering; the default is the paper's unbounded, unmetered queue.
+func New[T any](f *sched.Frame, opts ...QueueOption) *Queue[T] {
+	return NewWithCapacity[T](f, DefaultSegmentCapacity, opts...)
+}
 
 // NewWithCapacity creates a hyperqueue owned by frame f whose segments
 // hold segCap values each (§5.1, queue segment length tuning). The
@@ -171,8 +179,8 @@ func New[T any](f *sched.Frame) *Queue[T] { return NewWithCapacity[T](f, Default
 // queue draws its segments from the runtime-wide pool shared by every
 // queue of the same element type and segment capacity (PoolProvider), so
 // even a freshly constructed queue starts on recycled segments.
-func NewWithCapacity[T any](f *sched.Frame, segCap int) *Queue[T] {
-	return newQueue[T](f, segCap, false)
+func NewWithCapacity[T any](f *sched.Frame, segCap int, opts ...QueueOption) *Queue[T] {
+	return newQueue[T](f, segCap, false, opts...)
 }
 
 // NewLegacyLocked creates a hyperqueue that funnels every structural
@@ -184,13 +192,21 @@ func NewLegacyLocked[T any](f *sched.Frame, segCap int) *Queue[T] {
 	return newQueue[T](f, segCap, true)
 }
 
-func newQueue[T any](f *sched.Frame, segCap int, legacy bool) *Queue[T] {
+func newQueue[T any](f *sched.Frame, segCap int, legacy bool, opts ...QueueOption) *Queue[T] {
 	if segCap < 1 {
 		segCap = 1
+	}
+	var o queueOpts
+	for _, opt := range opts {
+		opt(&o)
 	}
 	q := &Queue[T]{segCap: segCap, legacy: legacy, owner: f, producers: make(map[*sched.Frame]struct{})}
 	q.cond = sync.NewCond(&q.consMu)
 	q.prov = ProviderOf(f.Runtime())
+	if o.bound > 0 || o.name != "" {
+		q.flow = newFlowState(o.name, o.bound)
+		q.prov.registerFlow(q.flow)
+	}
 	q.pool = poolFor[T](q.prov, segCap)
 	s0 := q.pool.get(q.pool.shard(f.WorkerID()))
 	qv := &qviews[T]{q: q, frame: f, mode: ModePushPop}
@@ -362,6 +378,7 @@ func (q *Queue[T]) wakeConsumer() {
 		// to test for waiters.
 		q.lockCons()
 		if q.waiters.Load() > 0 {
+			q.meterConsWake()
 			q.wakeLocked()
 		}
 		q.consMu.Unlock()
@@ -370,9 +387,18 @@ func (q *Queue[T]) wakeConsumer() {
 	if q.waiters.Load() == 0 {
 		return
 	}
+	q.meterConsWake()
 	q.lockCons()
 	q.wakeLocked()
 	q.consMu.Unlock()
+}
+
+// meterConsWake counts a push that found a parked consumer — slow-path
+// only, so the meter never touches the wake-free steady state.
+func (q *Queue[T]) meterConsWake() {
+	if fl := q.flow; fl != nil {
+		fl.consWakes.Add(1)
+	}
 }
 
 // wakeLocked wakes every cond waiter that could make progress. With
@@ -575,6 +601,9 @@ func (q *Queue[T]) emptyWait(f *sched.Frame, qv *qviews[T]) bool {
 		if q.reachableData() {
 			return false
 		}
+	}
+	if fl := q.flow; fl != nil {
+		fl.consBlocks.Add(1)
 	}
 	f.Block(func() {
 		q.lockCons()
@@ -779,6 +808,12 @@ func (q *Queue[T]) Recycle(f *sched.Frame) {
 	q.headView, qv.user = split(s0, q.nlctr)
 	qv.children, qv.right = emptyView[T](), emptyView[T]()
 	q.everProducer.Store(false)
+	if q.flow != nil {
+		// The drain check above proved every pushed value was popped, so
+		// all credits are home; the reset only matters after a recovered
+		// panic left the accounting torn.
+		q.flow.rearm()
+	}
 	q.unlockRegNested()
 	q.consMu.Unlock()
 	q.prov.recycles.Add(1)

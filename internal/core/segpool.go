@@ -47,11 +47,96 @@ type PoolProvider struct {
 	// recycles counts completed Queue.Recycle resets runtime-wide — the
 	// companion gauge to PooledSegments for the swan.Stats surface.
 	recycles atomic.Uint64
+
+	// segAllocs counts segments allocated fresh because every free list
+	// missed — the runtime-wide "the pool was not enough" gauge. Together
+	// with a queue bound it yields a provable memory ceiling: a bounded
+	// 1P/1C pipeline can keep at most ceil(bound/segCap)+O(1) segments
+	// live, so segAllocs stays flat once the chain is warm (asserted in
+	// the backpressure tests).
+	segAllocs atomic.Uint64
+
+	// flows is the registry of metered queues (bounded or Named), read by
+	// QueueStats for the swan metrics endpoint. Registration happens once
+	// per queue construction; entries survive Recycle (the meter is
+	// cumulative) and are never removed — the registry is bounded by the
+	// number of metered queues the program creates, and programs that
+	// churn queues use Recycle precisely to avoid re-creating them.
+	flowMu   sync.Mutex
+	flows    []*flowState
+	autoName atomic.Uint64 // "queue-N" names for unnamed bounded queues
 }
 
 // RecycledQueues reports how many Queue.Recycle resets have completed
 // across every queue of the runtime.
 func (p *PoolProvider) RecycledQueues() uint64 { return p.recycles.Load() }
+
+// SegmentAllocs reports how many segments have ever been allocated fresh
+// (pool misses) across every pool of the provider.
+func (p *PoolProvider) SegmentAllocs() uint64 { return p.segAllocs.Load() }
+
+// registerFlow adds a metered queue's flow block to the provider
+// registry, assigning an automatic name when the queue was bounded but
+// not Named.
+func (p *PoolProvider) registerFlow(fl *flowState) {
+	if fl.name == "" {
+		fl.name = "queue-" + itoa(p.autoName.Add(1))
+	}
+	p.flowMu.Lock()
+	p.flows = append(p.flows, fl)
+	p.flowMu.Unlock()
+}
+
+// QueueStats snapshots every metered queue of the runtime, in order of
+// first appearance. Plain unbounded queues do not appear (they carry no
+// meter). Queues sharing a name — a pipeline stage constructed once per
+// run, for example — are aggregated into one row: counters and
+// occupancy sum, high-water and bound take the maximum, so the name
+// labels the stage rather than one queue instance and the Prometheus
+// rendering never emits duplicate series.
+func (p *PoolProvider) QueueStats() []QueueStat {
+	p.flowMu.Lock()
+	flows := p.flows
+	p.flowMu.Unlock()
+	var out []QueueStat
+	index := make(map[string]int, len(flows))
+	for _, fl := range flows {
+		s := fl.snapshot()
+		i, ok := index[s.Name]
+		if !ok {
+			index[s.Name] = len(out)
+			out = append(out, s)
+			continue
+		}
+		agg := &out[i]
+		agg.Bound = max(agg.Bound, s.Bound)
+		agg.Occupancy += s.Occupancy
+		agg.HighWater = max(agg.HighWater, s.HighWater)
+		agg.Pushed += s.Pushed
+		agg.Popped += s.Popped
+		agg.ProducerBlocks += s.ProducerBlocks
+		agg.ProducerWakes += s.ProducerWakes
+		agg.ConsumerBlocks += s.ConsumerBlocks
+		agg.ConsumerWakes += s.ConsumerWakes
+	}
+	return out
+}
+
+// itoa is strconv.Itoa for the auto-namer without importing strconv into
+// the hot-path compilation unit.
+func itoa(n uint64) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
 
 // ProviderOf returns the runtime's segment-pool provider, creating it on
 // first use. All queues created on rt share this provider.
@@ -71,7 +156,7 @@ func poolFor[T any](p *PoolProvider, segCap int) *segPool[T] {
 	if sp, ok := p.pools[key]; ok {
 		return sp.(*segPool[T])
 	}
-	sp := &segPool[T]{}
+	sp := &segPool[T]{prov: p}
 	sp.init(p.workers, segCap)
 	p.pools[key] = sp
 	return sp
@@ -114,6 +199,7 @@ func (p *PoolProvider) PooledSegments() int {
 // oversized segments WriteSlice creates for large requests (§5.2) are
 // dropped on recycle.
 type segPool[T any] struct {
+	prov   *PoolProvider // owning provider, for the segAllocs miss counter
 	shards []segPoolShard[T]
 	mask   int
 	segCap int
@@ -215,6 +301,9 @@ func (p *segPool[T]) get(sid int) *segment[T] {
 			return s
 		}
 		o.mu.Unlock()
+	}
+	if p.prov != nil {
+		p.prov.segAllocs.Add(1)
 	}
 	return newSegment[T](p.segCap)
 }

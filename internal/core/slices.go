@@ -62,7 +62,11 @@ func (q *Queue[T]) WriteSlice(f *sched.Frame, n int) []T {
 }
 
 // CommitWrite publishes the first n slots of the last WriteSlice to the
-// consumer.
+// consumer. On a bounded queue the credits are accounted here, at
+// publish time — WriteSlice only reserves buffer space, which does not
+// consume the element budget until the values become visible — and a
+// commit larger than the remaining budget publishes in credit-sized
+// chunks, waking the consumer between chunks, exactly like PushSlice.
 func (q *Queue[T]) CommitWrite(f *sched.Frame, n int) {
 	qv := q.mustViews(f, ModePush)
 	seg := qv.user.tail
@@ -73,6 +77,17 @@ func (q *Queue[T]) CommitWrite(f *sched.Frame, n int) {
 	if t-seg.head.Load()+int64(n) > int64(len(seg.buf)) {
 		panic("hyperqueue: CommitWrite past the end of the write slice")
 	}
-	seg.tail.Store(t + int64(n))
-	q.wakeConsumer()
+	for left := int64(n); left > 0; {
+		chunk := left
+		if fl := q.flow; fl != nil {
+			chunk = fl.acquire(f, left)
+		}
+		left -= chunk
+		t += chunk
+		seg.tail.Store(t)
+		q.wakeConsumer()
+	}
+	if n == 0 {
+		q.wakeConsumer()
+	}
 }

@@ -16,12 +16,21 @@
 // which exercise the lock-free miss fast path and the §5.2 slice
 // interface under both scheduler policies. GenerateMulti's stream
 // identity is versioned rather than frozen: PR 4 extended the action
-// set from 7 to 9 kinds, and PR 5 from 9 to 11 (bound-handle push
-// bursts — scalar Push or bulk PushSlice — and bound-handle
-// Empty-guarded PopInto consumption), each change re-deriving every
-// (seed, queues) program. No historical multi-queue failure seed
-// predates those changes; a failure report is (generator version, seed,
-// queues), never just a seed.
+// set from 7 to 9 kinds, PR 5 from 9 to 11 (bound-handle push bursts —
+// scalar Push or bulk PushSlice — and bound-handle Empty-guarded
+// PopInto consumption), and PR 6 appended per-queue bound draws after
+// tree generation — about half the queues of each program are built
+// with swan.Bounded, exercising the credit accounting on every push and
+// pop path. The appended draws leave the (seed, queues) → tree mapping
+// of PR 5 intact, but a failure report is still (generator version,
+// seed, queues), never just a seed, and now includes the bound
+// assignment. Generated bounds are always at least the queue's total
+// push count: generated programs may legally terminate with values
+// still enqueued and may produce out of serial order through sibling
+// producers, either of which can wedge a tight bound (see the in-order
+// production discipline in OPERATIONS.md) — a generated program must
+// never block on credits, only account them. The blocking paths are
+// pinned by the dedicated backpressure tests instead.
 //
 // A program is a random task tree whose tasks push values, pop or drain
 // queues, and spawn children with a random subset of their own
@@ -79,6 +88,10 @@ type Program struct {
 	Oracle map[int][]int
 	Tasks  int
 	Values int
+	// Bounds[qi] is the swan.Bounded budget queue qi is constructed
+	// with, 0 for unbounded. Nil for Generate programs (the frozen
+	// single-queue generator predates bounds).
+	Bounds []int
 	root   *task
 }
 
@@ -89,6 +102,7 @@ type generator struct {
 	nextVal int
 	oracle  map[int][]int
 	serialQ [][]int // the serial elision's FIFO content, per queue
+	pushed  []int   // values ever pushed, per queue (for safe bound draws)
 }
 
 // Generate builds the original single-queue random program for seed.
@@ -157,13 +171,23 @@ func GenerateMulti(seed uint64, queues int) *Program {
 	if queues < 1 {
 		queues = 1
 	}
-	g := &generator{r: rng.New(seed), nq: queues, oracle: make(map[int][]int), serialQ: make([][]int, queues)}
+	g := &generator{r: rng.New(seed), nq: queues, oracle: make(map[int][]int), serialQ: make([][]int, queues), pushed: make([]int, queues)}
 	modes := make([]uint8, queues)
 	for i := range modes {
 		modes[i] = 3
 	}
 	root := g.genMulti(modes, 4)
-	return &Program{Seed: seed, Queues: queues, Oracle: g.oracle, Tasks: g.nextID, Values: g.nextVal, root: root}
+	// Bound draws come after the tree so the (seed, queues) → tree
+	// mapping is stable; a bound of at least the total push count plus a
+	// little jitter accounts credits on every path without ever blocking
+	// (see the package comment).
+	bounds := make([]int, queues)
+	for qi := range bounds {
+		if g.r.Intn(2) == 0 {
+			bounds[qi] = max(1, g.pushed[qi]) + g.r.Intn(4)
+		}
+	}
+	return &Program{Seed: seed, Queues: queues, Oracle: g.oracle, Tasks: g.nextID, Values: g.nextVal, Bounds: bounds, root: root}
 }
 
 func (g *generator) genMulti(modes []uint8, depth int) *task {
@@ -193,6 +217,7 @@ func (g *generator) genMulti(modes []uint8, depth int) *task {
 			for j, k := 0, 1+g.r.Intn(4); j < k; j++ {
 				td.acts = append(td.acts, action{kind: actPush, q: qi, val: g.nextVal})
 				g.serialQ[qi] = append(g.serialQ[qi], g.nextVal)
+				g.pushed[qi]++
 				g.nextVal++
 			}
 		case 2, 3: // spawn or call a child with a random privilege subset
@@ -235,6 +260,7 @@ func (g *generator) genMulti(modes []uint8, depth int) *task {
 			td.acts = append(td.acts, action{kind: actBindPushN, q: qi, val: g.nextVal, n: k})
 			for j := 0; j < k; j++ {
 				g.serialQ[qi] = append(g.serialQ[qi], g.nextVal)
+				g.pushed[qi]++
 				g.nextVal++
 			}
 		case 10: // consume a bounded number of values via Popper.PopInto
@@ -274,7 +300,11 @@ func (p *Program) Execute(workers, segCap int, policy swan.SpawnPolicy) map[int]
 	swan.NewWithPolicy(workers, policy).Run(func(f *swan.Frame) {
 		qs := make([]*swan.Queue[int], p.Queues)
 		for i := range qs {
-			qs[i] = swan.NewQueueWithCapacity[int](f, segCap)
+			var opts []swan.QueueOption
+			if i < len(p.Bounds) && p.Bounds[i] > 0 {
+				opts = append(opts, swan.Bounded(p.Bounds[i]))
+			}
+			qs[i] = swan.NewQueueWithCapacity[int](f, segCap, opts...)
 		}
 		var exec func(f *swan.Frame, td *task)
 		exec = func(f *swan.Frame, td *task) {

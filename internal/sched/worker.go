@@ -43,6 +43,7 @@ type Stats struct {
 	Parks          uint64 // times a worker went to sleep for lack of work
 	Blocks         uint64 // Block regions entered (capacity released)
 	WorkersStarted uint64 // worker goroutines ever started
+	Blocked        int    // tasks currently inside a Block region (gauge)
 }
 
 // Stats reports a snapshot of the runtime's scheduler counters.
@@ -51,12 +52,16 @@ func (rt *Runtime) Stats() Stats {
 		return Stats{}
 	}
 	p := &rt.pool
+	p.mu.Lock()
+	blocked := p.blocked
+	p.mu.Unlock()
 	return Stats{
 		Spawns:         p.stats.Spawns.Load(),
 		Steals:         p.stats.Steals.Load(),
 		Parks:          p.stats.Parks.Load(),
 		Blocks:         p.stats.Blocks.Load(),
 		WorkersStarted: p.stats.WorkersStarted.Load(),
+		Blocked:        blocked,
 	}
 }
 

@@ -220,6 +220,31 @@ func TestAllPipelinesAgree(t *testing.T) {
 	}
 }
 
+// TestHyperqueueBounded pins the flow-controlled variant: identical
+// output to the serial elision at tight and loose bounds (including a
+// bound smaller than the block count, which forces the splitter to
+// block mid-PushSlice), and the bounded block queue's meter must show a
+// high-water mark within the bound.
+func TestHyperqueueBounded(t *testing.T) {
+	data := GenerateInput(6, 80000)
+	const bs = 4 * 1024 // 20 blocks: bound 2 forces real backpressure
+	ref := RunSerial(data, bs)
+	for _, bound := range []int{2, 8, 1 << 20} {
+		for _, workers := range []int{1, 8} {
+			rt := swan.New(workers)
+			if got := RunHyperqueueBounded(rt, data, bs, 8, bound); !bytes.Equal(got, ref) {
+				t.Errorf("bounded(%d) pipeline at %d workers differs from serial elision", bound, workers)
+			}
+			for _, qs := range swan.Stats(rt).Queues {
+				if qs.Name == "bzip2.blocks" && qs.Bound > 0 && qs.HighWater > int64(qs.Bound) {
+					t.Errorf("bounded(%d) at %d workers: high-water %d exceeds bound %d",
+						bound, workers, qs.HighWater, qs.Bound)
+				}
+			}
+		}
+	}
+}
+
 func TestPipelinesAtOneWorker(t *testing.T) {
 	data := GenerateInput(5, 40000)
 	const bs = 8 * 1024

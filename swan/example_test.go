@@ -2,6 +2,9 @@ package swan_test
 
 import (
 	"fmt"
+	"io"
+	"net/http"
+	"strings"
 
 	"repro/swan"
 )
@@ -226,4 +229,102 @@ func ExampleQueue_selectiveSync() {
 	})
 	// Output:
 	// 2
+}
+
+// ExampleBounded shows a flow-controlled queue: the producer may never
+// hold more than 2 values in flight, so a fast producer is paced by its
+// consumer instead of growing the queue without limit. The values and
+// their order are exactly those of the unbounded queue — backpressure
+// changes scheduling, never semantics.
+func ExampleBounded() {
+	rt := swan.New(2)
+	rt.Run(func(f *swan.Frame) {
+		q := swan.NewQueue[int](f, swan.Bounded(2))
+		f.Spawn(func(c *swan.Frame) {
+			for i := 1; i <= 5; i++ {
+				q.Push(c, i) // blocks whenever 2 values are buffered
+			}
+		}, swan.Push(q))
+		f.Spawn(func(c *swan.Frame) {
+			for !q.Empty(c) {
+				fmt.Println(q.Pop(c))
+			}
+		}, swan.Pop(q))
+		f.Sync()
+	})
+	// Output:
+	// 1
+	// 2
+	// 3
+	// 4
+	// 5
+}
+
+// ExampleBounded_blocking is a producer-blocking round trip observed
+// through the queue meter: with bound 1 the producer can never be more
+// than one value ahead, so after the run the high-water mark is exactly
+// 1 and the push/pop totals balance to zero occupancy.
+func ExampleBounded_blocking() {
+	rt := swan.New(2)
+	rt.Run(func(f *swan.Frame) {
+		q := swan.NewQueue[int](f, swan.Bounded(1), swan.Named("roundtrip"))
+		swan.Produce(f, q, func(c *swan.Frame, push func(int)) {
+			for i := 0; i < 100; i++ {
+				push(i)
+			}
+		})
+		swan.Drain(f, q, func(int) {})
+		f.Sync()
+	})
+	for _, qs := range swan.Stats(rt).Queues {
+		fmt.Printf("%s: pushed=%d popped=%d occupancy=%d high-water=%d\n",
+			qs.Name, qs.Pushed, qs.Popped, qs.Occupancy, qs.HighWater)
+	}
+	// Output:
+	// roundtrip: pushed=100 popped=100 occupancy=0 high-water=1
+}
+
+// ExampleServeMetrics starts the metrics endpoint over a runtime, runs
+// a bounded pipeline, and scrapes the Prometheus text exposition with a
+// plain HTTP GET — exactly what a Prometheus scrape job would do.
+func ExampleServeMetrics() {
+	rt := swan.New(2)
+	ms, err := swan.ServeMetrics(rt, "") // empty addr: a free localhost port
+	if err != nil {
+		fmt.Println("serve:", err)
+		return
+	}
+	defer ms.Close()
+
+	rt.Run(func(f *swan.Frame) {
+		q := swan.NewQueue[int](f, swan.Bounded(8), swan.Named("stage"))
+		swan.Produce(f, q, func(c *swan.Frame, push func(int)) {
+			for i := 0; i < 1000; i++ {
+				push(i)
+			}
+		})
+		swan.Drain(f, q, func(int) {})
+		f.Sync()
+	})
+
+	resp, err := http.Get(ms.URL())
+	if err != nil {
+		fmt.Println("scrape:", err)
+		return
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	for _, metric := range []string{
+		`swan_queue_bound{queue="stage"} 8`,
+		`swan_queue_pushed_total{queue="stage"} 1000`,
+		`swan_queue_popped_total{queue="stage"} 1000`,
+		`swan_queue_occupancy{queue="stage"} 0`,
+	} {
+		fmt.Println(strings.Contains(string(body), metric))
+	}
+	// Output:
+	// true
+	// true
+	// true
+	// true
 }

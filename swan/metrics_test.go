@@ -1,0 +1,108 @@
+package swan_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/swan"
+)
+
+// scrape GETs a URL and returns the body.
+func scrape(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return string(body)
+}
+
+// TestServeMetrics pins the metrics endpoint end to end: a run with a
+// bounded named queue, then an HTTP scrape that must contain the
+// occupancy, high-water and block counters in Prometheus text format
+// (with # HELP / # TYPE metadata), plus the expvar mirror at
+// /debug/vars carrying the same snapshot as JSON.
+func TestServeMetrics(t *testing.T) {
+	rt := swan.New(2)
+	ms, err := swan.ServeMetrics(rt, "")
+	if err != nil {
+		t.Fatalf("ServeMetrics: %v", err)
+	}
+	defer ms.Close()
+
+	const total = 5000
+	rt.Run(func(f *swan.Frame) {
+		q := swan.NewQueueWithCapacity[int](f, 16, swan.Bounded(4), swan.Named("metrics.stage"))
+		swan.Produce(f, q, func(c *swan.Frame, push func(int)) {
+			for i := 0; i < total; i++ {
+				push(i)
+			}
+		})
+		swan.Drain(f, q, func(int) {})
+		f.Sync()
+	})
+
+	body := scrape(t, ms.URL())
+	for _, want := range []string{
+		"# TYPE swan_queue_occupancy gauge",
+		"# HELP swan_queue_high_water",
+		`swan_queue_occupancy{queue="metrics.stage"} 0`,
+		`swan_queue_bound{queue="metrics.stage"} 4`,
+		`swan_queue_pushed_total{queue="metrics.stage"} 5000`,
+		`swan_queue_popped_total{queue="metrics.stage"} 5000`,
+		`swan_queue_producer_blocks_total{queue="metrics.stage"}`,
+		`swan_queue_consumer_blocks_total{queue="metrics.stage"}`,
+		"swan_runtime_workers 2",
+		"# TYPE swan_sched_blocks_total counter",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+	// High-water must be within (0, bound].
+	var hw float64 = -1
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, `swan_queue_high_water{queue="metrics.stage"} `) {
+			v, err := strconv.ParseFloat(line[strings.LastIndex(line, " ")+1:], 64)
+			if err != nil {
+				t.Fatalf("parse high-water from %q: %v", line, err)
+			}
+			hw = v
+		}
+	}
+	if hw < 1 || hw > 4 {
+		t.Errorf("high-water = %v, want in [1, 4]", hw)
+	}
+
+	// The expvar mirror must carry the swan snapshot with the same queue.
+	vars := scrape(t, "http://"+ms.Addr()+"/debug/vars")
+	var parsed struct {
+		Swan []swan.RuntimeStats `json:"swan"`
+	}
+	if err := json.Unmarshal([]byte(vars), &parsed); err != nil {
+		t.Fatalf("unmarshal /debug/vars: %v", err)
+	}
+	found := false
+	for _, s := range parsed.Swan {
+		for _, q := range s.Queues {
+			if q.Name == "metrics.stage" && q.Pushed == total {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("expvar swan snapshot missing queue metrics.stage with %d pushes:\n%s", total, vars)
+	}
+}

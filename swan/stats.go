@@ -2,18 +2,30 @@ package swan
 
 import "repro/internal/core"
 
+// QueueStats is a snapshot of one metered queue's gauges and counters:
+// occupancy and high-water, the cumulative push/pop totals they derive
+// from, and the block/wake counters of both sides' slow paths. Queues
+// are metered when constructed with Bounded or Named; plain unbounded
+// queues carry no meter and do not appear in RuntimeStats.Queues.
+type QueueStats = core.QueueStat
+
 // RuntimeStats is a snapshot of a runtime's resource counters: the
-// scheduler's dispatch activity and the hyperqueue layer's runtime-wide
-// recycling gauges (the per-Runtime segment pool and Queue.Recycle).
-// It is a diagnostic surface — cmd/paperbench -stats prints it after a
-// run — not a hot-path primitive.
+// scheduler's dispatch activity, the hyperqueue layer's runtime-wide
+// recycling gauges (the per-Runtime segment pool and Queue.Recycle),
+// and the per-queue meters of every Bounded or Named queue. It is a
+// diagnostic surface — cmd/paperbench -stats prints it after a run and
+// ServeMetrics exports it live — not a hot-path primitive.
 type RuntimeStats struct {
-	Workers        int    // worker slots the runtime was built with
-	PooledSegments int    // segments currently cached across all pools
-	RecycledQueues uint64 // completed Queue.Recycle resets
-	Spawns         uint64 // tasks dispatched (PolicySteal only)
-	Steals         uint64 // successful deque steals (PolicySteal only)
-	Parks          uint64 // worker sleeps for lack of work (PolicySteal only)
+	Workers        int          // worker slots the runtime was built with
+	PooledSegments int          // segments currently cached across all pools
+	SegmentAllocs  uint64       // segments ever allocated fresh (pool misses)
+	RecycledQueues uint64       // completed Queue.Recycle resets
+	Spawns         uint64       // tasks dispatched (PolicySteal only)
+	Steals         uint64       // successful deque steals (PolicySteal only)
+	Parks          uint64       // worker sleeps for lack of work (PolicySteal only)
+	Blocks         uint64       // Block regions entered (PolicySteal only)
+	Blocked        int          // tasks currently inside a Block region (PolicySteal only)
+	Queues         []QueueStats // metered queues, in creation order
 }
 
 // Stats reports a snapshot of rt's runtime-wide counters.
@@ -23,9 +35,13 @@ func Stats(rt *Runtime) RuntimeStats {
 	return RuntimeStats{
 		Workers:        rt.Workers(),
 		PooledSegments: prov.PooledSegments(),
+		SegmentAllocs:  prov.SegmentAllocs(),
 		RecycledQueues: prov.RecycledQueues(),
 		Spawns:         s.Spawns,
 		Steals:         s.Steals,
 		Parks:          s.Parks,
+		Blocks:         s.Blocks,
+		Blocked:        s.Blocked,
+		Queues:         prov.QueueStats(),
 	}
 }

@@ -139,15 +139,41 @@ func DefaultPolicy() SpawnPolicy { return sched.DefaultPolicy() }
 // re-raised by Run.
 func SetQueueDebugChecks(on bool) { core.SetDebugChecks(on) }
 
+// QueueOption configures a queue at construction: Bounded adds flow
+// control, Named adds metering. The zero-option default is the paper's
+// unbounded, unmetered queue.
+type QueueOption = core.QueueOption
+
+// Bounded caps the queue at n buffered values. A push into a full queue
+// blocks — releasing the worker slot, so the scheduler cannot deadlock —
+// until the consumer drains; bulk pushes (PushSlice, CommitWrite) make
+// progress in credit-sized chunks through any bound. Bounded queues are
+// automatically metered (occupancy, high-water, block/wake counters;
+// see Stats and ServeMetrics).
+//
+// Backpressure couples producer progress to consumer progress, which is
+// safe whenever values are produced in serial program order — a single
+// producer task per stage, as every pipeline helper in this package
+// spawns. Concurrent sibling producers can outrun the serial order and
+// fill the bound with values the consumer cannot reach yet; size the
+// bound above their maximum lead, or keep such stages unbounded (see
+// OPERATIONS.md, "Choosing a bound").
+func Bounded(n int) QueueOption { return core.Bounded(n) }
+
+// Named meters an unbounded queue under the given name so it appears in
+// Stats and the metrics endpoint. Bounded queues are metered already;
+// Named gives them a stable label instead of the automatic "queue-N".
+func Named(name string) QueueOption { return core.Named(name) }
+
 // NewQueue creates a hyperqueue owned by the calling task's frame. The
 // owner holds both push and pop privileges, like the paper's top-level
 // task.
-func NewQueue[T any](f *Frame) *Queue[T] { return core.New[T](f) }
+func NewQueue[T any](f *Frame, opts ...QueueOption) *Queue[T] { return core.New[T](f, opts...) }
 
 // NewQueueWithCapacity creates a hyperqueue with a tuned segment length
 // (paper §5.1).
-func NewQueueWithCapacity[T any](f *Frame, segCap int) *Queue[T] {
-	return core.NewWithCapacity[T](f, segCap)
+func NewQueueWithCapacity[T any](f *Frame, segCap int, opts ...QueueOption) *Queue[T] {
+	return core.NewWithCapacity[T](f, segCap, opts...)
 }
 
 // Push grants the spawned task push-only access to q (pushdep).
