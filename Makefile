@@ -4,9 +4,9 @@ GO ?= go
 
 # bench-json knobs: which benchmarks make up the recorded perf set, how
 # long to run each, and where the JSON lands.
-BENCH_SET  ?= SteadyStateAllocs|QueueChurn|PrepareCompleteContention|BatchedSpawn|AblationSchedulerSubstrate|AblationSegmentSize|AblationQueueVsChannel|BoundVsUnbound|BoundedVsUnbounded
+BENCH_SET  ?= SteadyStateAllocs|QueueChurn|PrepareCompleteContention|BatchedSpawn|AblationSchedulerSubstrate|AblationSegmentSize|AblationQueueVsChannel|BoundVsUnbound|BoundedVsUnbounded|Reducer|HypermapVsLockedMap
 BENCH_TIME ?= 300ms
-BENCH_OUT  ?= BENCH_pr6.json
+BENCH_OUT  ?= BENCH_pr7.json
 
 .PHONY: all build vet fmt-check test race bench-smoke bench-json quickcheck docs ci
 

@@ -7,6 +7,7 @@ package repro_test
 import (
 	"fmt"
 	"runtime"
+	"sync"
 	"testing"
 
 	"repro/internal/bench"
@@ -674,4 +675,85 @@ func BenchmarkBoundedVsUnbounded(b *testing.B) {
 	b.Run("mode=unbounded", func(b *testing.B) { run(b) })
 	b.Run("mode=bounded", func(b *testing.B) { run(b, core.Bounded(1<<30)) })
 	b.Run("mode=tight", func(b *testing.B) { run(b, core.Bounded(64)) })
+}
+
+// --- PR 7: hyperobjects --------------------------------------------------
+
+// BenchmarkReducer prices the reducer write path the way
+// BenchmarkSteadyStateAllocs prices Push: a bound handle folding b.N
+// values into a task-private view. No locks are on the path and CI
+// gates steady-state allocs/op at zero.
+func BenchmarkReducer(b *testing.B) {
+	b.ReportAllocs()
+	rt := sched.New(2)
+	rt.Run(func(f *sched.Frame) {
+		r := core.NewReducer(f, core.Monoid[int]{
+			Identity: func() int { return 0 },
+			Combine:  func(into *int, from int) { *into += from },
+		})
+		b.ResetTimer()
+		f.Spawn(func(c *sched.Frame) {
+			h := r.BindReduce(c)
+			for i := 0; i < b.N; i++ {
+				h.Add(i)
+			}
+		}, core.Reduce(r))
+		f.Sync()
+		b.StopTimer()
+	})
+}
+
+// BenchmarkHypermapVsLockedMap compares dedup's two index disciplines
+// under writer parallelism: impl=hypermap inserts into task-private
+// views (plus the advisory claims probe — the full Put path dedup
+// runs), impl=lockedmap is the striped-lock-free baseline of a single
+// mutex-guarded map. Keys repeat (16k keyspace), so both exercise the
+// insert-if-absent hit and miss paths; ns/op is per insert.
+func BenchmarkHypermapVsLockedMap(b *testing.B) {
+	const writers = 4
+	b.Run("impl=hypermap", func(b *testing.B) {
+		b.ReportAllocs()
+		rt := sched.New(writers)
+		rt.Run(func(f *sched.Frame) {
+			m := core.NewHypermap[int, int](f)
+			per := b.N/writers + 1
+			b.ResetTimer()
+			for w := 0; w < writers; w++ {
+				w := w
+				f.Spawn(func(c *sched.Frame) {
+					h := m.BindMap(c)
+					for i := 0; i < per; i++ {
+						h.Put(i&0x3fff, w)
+					}
+				}, core.MapWrite(m))
+			}
+			f.Sync()
+			b.StopTimer()
+		})
+	})
+	b.Run("impl=lockedmap", func(b *testing.B) {
+		b.ReportAllocs()
+		rt := sched.New(writers)
+		rt.Run(func(f *sched.Frame) {
+			var mu sync.Mutex
+			mm := make(map[int]int)
+			per := b.N/writers + 1
+			b.ResetTimer()
+			for w := 0; w < writers; w++ {
+				w := w
+				f.Spawn(func(c *sched.Frame) {
+					for i := 0; i < per; i++ {
+						k := i & 0x3fff
+						mu.Lock()
+						if _, ok := mm[k]; !ok {
+							mm[k] = w
+						}
+						mu.Unlock()
+					}
+				})
+			}
+			f.Sync()
+			b.StopTimer()
+		})
+	})
 }

@@ -18,10 +18,12 @@
 // generator, so historical seed reports stay reproducible; -queues 2 or
 // higher switches to the extended multi-queue generator (qcheck
 // GenerateMulti), whose programs also Sync mid-task, Call children
-// synchronously, and consume through Empty-guarded TryPop and
-// ReadSlice/ConsumeRead runs — covering cross-queue interleavings, the
-// §5.2 slice interface, and the lock-free consumer miss path — a failure
-// there is reported as (seed, queues). The scheduling substrate follows
+// synchronously, consume through Empty-guarded TryPop and
+// ReadSlice/ConsumeRead runs, and fold values into a shared reducer
+// checked against its serial-order oracle — covering cross-queue
+// interleavings, the §5.2 slice interface, the lock-free consumer miss
+// path, and the hyperobject merge discipline — a failure there is
+// reported as (seed, queues). The scheduling substrate follows
 // REPRO_SCHED ("steal" or "goroutine"). Exit status 0 means every
 // program behaved exactly like its serial elision.
 package main
@@ -61,22 +63,23 @@ func main() {
 			p = qcheck.Generate(*seed + uint64(i))
 		}
 		var badConfigs []string
-		var firstGot map[int][]int
+		var firstBad *qcheck.Outcome
 		for _, w := range workerSet {
 			for _, s := range segSet {
-				got, ok := p.Check(w, s, policy)
+				out, ok := p.CheckFull(w, s, policy)
 				if !ok {
 					badConfigs = append(badConfigs, fmt.Sprintf("workers=%d segcap=%d", w, s))
-					if firstGot == nil {
-						firstGot = got
+					if firstBad == nil {
+						firstBad = &out
 					}
 				}
 			}
 		}
 		if len(badConfigs) > 0 {
 			failedPrograms++
-			fmt.Printf("FAIL seed=%d queues=%d (%s)\n  got:    %v\n  oracle: %v\n",
-				p.Seed, p.Queues, strings.Join(badConfigs, ", "), firstGot, p.Oracle)
+			fmt.Printf("FAIL seed=%d queues=%d (%s)\n  got:    %v\n  oracle: %v\n  reducer got:    %v\n  reducer oracle: %v\n",
+				p.Seed, p.Queues, strings.Join(badConfigs, ", "),
+				firstBad.Consumed, p.Oracle, firstBad.Reduced, p.RedOracle)
 		} else if *verbose {
 			fmt.Printf("program %3d: %d tasks, %d values, %d queues — ok\n", i, p.Tasks, p.Values, p.Queues)
 		}

@@ -1,15 +1,19 @@
-// Streamstats: high-rate sensor-stream statistics using the paper's §5.2
-// queue slices — bulk producers fill write slices (array-speed appends),
-// a running-statistics consumer drains read slices, and the result is
-// deterministic: the exponentially weighted moving average depends on
-// arrival order, which the hyperqueue fixes to serial program order.
+// Streamstats: high-rate sensor-stream statistics combining the paper's
+// §5.2 queue slices with a deterministic hyper-reducer — bulk producers
+// fill write slices (array-speed appends) while folding per-sensor
+// Welford moments into their private reducer views, and a serial
+// consumer computes the order-dependent EWMA from the queue's
+// deterministic stream order. The whole result is bit-identical for any
+// -workers value (internal/workloads/streamstats holds the kernel and
+// the digest test proving it).
 //
-// The sample queue is Named, so the run is observable: -metrics serves
-// the live Prometheus-text endpoint while the pipeline runs, and the
-// queue's meter (occupancy, high-water, wake counters) is printed at
-// the end. The queue stays unbounded — the sensors are concurrent
-// producers, which may publish out of serial order, the case the
-// backpressure discipline excludes (see OPERATIONS.md).
+// The sample queue and the moments reducer are named, so the run is
+// observable: -metrics serves the live Prometheus-text endpoint while
+// the pipeline runs, and the queue meter plus the reducer's view/merge
+// counters are printed at the end. The queue stays unbounded — the
+// sensors are concurrent producers, which may publish out of serial
+// order, the case the backpressure discipline excludes (see
+// OPERATIONS.md).
 //
 // Run: go run ./examples/streamstats [-workers N] [-samples N] [-metrics addr]
 package main
@@ -17,10 +21,9 @@ package main
 import (
 	"flag"
 	"fmt"
-	"math"
 	"runtime"
 
-	"repro/internal/rng"
+	"repro/internal/workloads/streamstats"
 	"repro/swan"
 )
 
@@ -41,58 +44,22 @@ func main() {
 			fmt.Println("serving metrics at", ms.URL())
 		}
 	}
-	var (
-		count int
-		mean  float64 // EWMA — order-dependent, so determinism matters
-		m2    float64 // Welford running variance (order-dependent too)
-		wmean float64
-	)
 
-	rt.Run(func(f *swan.Frame) {
-		q := swan.NewQueueWithCapacity[float64](f, 4096, swan.Named("sensor.samples"))
+	res := streamstats.Run(rt, streamstats.Config{Samples: *samples, Sensors: *sensors})
 
-		// Producers: one per simulated sensor, bulk-writing via slices.
-		perSensor := *samples / *sensors
-		for s := 0; s < *sensors; s++ {
-			s := s
-			f.Spawn(func(c *swan.Frame) {
-				r := rng.New(uint64(s) + 1)
-				remaining := perSensor
-				for remaining > 0 {
-					n := 512
-					if n > remaining {
-						n = remaining
-					}
-					w := q.WriteSlice(c, n)
-					for i := range w {
-						w[i] = float64(s) + r.NormFloat64()
-					}
-					q.CommitWrite(c, len(w))
-					remaining -= n
-				}
-			}, swan.Push(q))
-		}
-
-		// Consumer: Welford + EWMA over read slices, in serial order.
-		swan.DrainSlices(f, q, 1024, func(batch []float64) {
-			for _, v := range batch {
-				count++
-				d := v - wmean
-				wmean += d / float64(count)
-				m2 += d * (v - wmean)
-				mean = 0.999*mean + 0.001*v
-			}
-		})
-		f.Sync()
-	})
-
+	total := res.Total()
 	fmt.Printf("processed %d samples from %d sensors on %d workers\n",
-		count, *sensors, *workers)
+		res.Count, *sensors, *workers)
 	fmt.Printf("running mean=%.4f stddev=%.4f ewma=%.4f\n",
-		wmean, math.Sqrt(m2/float64(count-1)), mean)
-	for _, qs := range swan.Stats(rt).Queues {
+		total.Mean, total.Stddev(), res.EWMA)
+	fmt.Printf("digest %s\n", res.Digest())
+	st := swan.Stats(rt)
+	for _, qs := range st.Queues {
 		fmt.Printf("queue %s: pushed=%d popped=%d high-water=%d consumer blocks=%d wakes=%d\n",
 			qs.Name, qs.Pushed, qs.Popped, qs.HighWater, qs.ConsumerBlocks, qs.ConsumerWakes)
 	}
-	fmt.Println("(re-run with any -workers value: the numbers are identical — deterministic order)")
+	for _, h := range st.Hyperobjects {
+		fmt.Printf("%s %s: views=%d merges=%d\n", h.Kind, h.Name, h.Views, h.Merges)
+	}
+	fmt.Println("(re-run with any -workers value: the digest is identical — deterministic to the bit)")
 }

@@ -95,6 +95,7 @@ func RuntimeStatsReport() string {
 	b.WriteString("|---------|-----------------|----------------|-----------------|--------|--------|-------|--------|\n")
 	var total swan.RuntimeStats
 	var queues []swan.QueueStats
+	var hypers []swan.HyperobjectStats
 	for _, rt := range rts {
 		s := swan.Stats(rt)
 		fmt.Fprintf(&b, "| %d | %d | %d | %d | %d | %d | %d | %d |\n",
@@ -107,6 +108,7 @@ func RuntimeStatsReport() string {
 		total.Parks += s.Parks
 		total.Blocks += s.Blocks
 		queues = append(queues, s.Queues...)
+		hypers = append(hypers, s.Hyperobjects...)
 	}
 	fmt.Fprintf(&b, "\ntotal: %d pooled segments, %d segment allocs, %d recycled queues, %d spawns, %d steals, %d parks, %d blocks\n",
 		total.PooledSegments, total.SegmentAllocs, total.RecycledQueues, total.Spawns, total.Steals, total.Parks, total.Blocks)
@@ -118,6 +120,14 @@ func RuntimeStatsReport() string {
 			fmt.Fprintf(&b, "| %s | %d | %d | %d | %d | %d | %d | %d | %d | %d |\n",
 				q.Name, q.Bound, q.Occupancy, q.HighWater, q.Pushed, q.Popped,
 				q.ProducerBlocks, q.ProducerWakes, q.ConsumerBlocks, q.ConsumerWakes)
+		}
+	}
+	if len(hypers) > 0 {
+		b.WriteString("\n### Hyperobjects\n\n")
+		b.WriteString("| Object | Kind | Views | Merges |\n")
+		b.WriteString("|--------|------|-------|--------|\n")
+		for _, h := range hypers {
+			fmt.Fprintf(&b, "| %s | %s | %d | %d |\n", h.Name, h.Kind, h.Views, h.Merges)
 		}
 	}
 	return b.String()

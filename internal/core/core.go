@@ -15,10 +15,16 @@
 //     segments; a fully-drained quiescent queue can itself be reset and
 //     reused via Recycle;
 //   - partial chains are tracked by views with local/non-local ends and
-//     combined with split and reduce (view.go);
+//     combined with split and reduce; the pairing discipline and the
+//     per-task view bookkeeping live in the generic hyperobject
+//     substrate (internal/core/hyper), which this package instantiates
+//     for segment-chain views (view.go) and drives through the queue's
+//     engine (Queue.eng, called under regMu);
 //   - every task holding privileges on a queue carries the view set
 //     {children, user, right} (plus the conceptual queue view for
-//     consumers), updated at push, spawn, completion and sync per §4.1–4.2;
+//     consumers), updated at push, spawn, completion and sync per
+//     §4.1–4.2 by the substrate's structural folds (HandOff, Retire,
+//     SyncFold, ShareToPredecessor, FoldFrontier);
 //   - the queue view is stored once in the queue itself with ticket-based
 //     ownership arbitration, the variant the paper sketches in §4.5
 //     ("Special Optimization") for the queue hypermap;
@@ -26,6 +32,11 @@
 //     live producer tasks plus program-order labels: Empty blocks while
 //     any producer that precedes the consumer in the serial elision is
 //     still live, which is the same observable condition.
+//
+// Beyond the queue, the same substrate backs two more hyperobjects in
+// this package: a deterministic monoid reducer (reducer.go) and a
+// first-writer-wins keyed hypermap (hypermap.go); their determinism
+// contracts are documented on their types.
 //
 // # The Empty contract
 //
@@ -76,8 +87,8 @@
 //   - Queue.regMu (the producer-registry lock) guards: Queue.producers,
 //     Queue.nlctr, every qviews' children and right views, and the
 //     live-sibling chain fields (prev, next, childHead, childTail).
-//     Prepare, Complete, shareHead, depositCompleted and syncHook operate
-//     under regMu.
+//     Prepare, Complete, syncHook and every engine fold (Retire,
+//     ShareToPredecessor, SyncFold, FoldFrontier) operate under regMu.
 //   - Lock order: consMu before regMu, always. Code holding regMu must
 //     release it before touching consMu (Complete does exactly that);
 //     consumer decision paths nest regMu inside consMu. In the legacy

@@ -32,13 +32,13 @@ func (d queueDep[T]) Prepare(parent, child *sched.Frame) {
 	q := d.q
 	pqv := q.mustViews(parent, d.mode) // subset rule: parent must hold every privilege it delegates
 
-	cqv := &qviews[T]{q: q, frame: child, mode: d.mode, parentQV: pqv}
+	cqv := &qviews[T]{q: q, mode: d.mode, parentQV: pqv}
+	cqv.vs.Frame = child
 
 	// The user view moves to the child: for pushers so they extend the
 	// chain in place, for poppers so it is hidden from later pushers
 	// until the child returns it (§4.2).
-	cqv.user = pqv.user
-	pqv.user = emptyView[T]()
+	q.eng.HandOff(&pqv.vs, &cqv.vs)
 
 	if d.mode&ModePop != 0 {
 		cqv.popTicket = pqv.popTickets.Load()
@@ -47,13 +47,7 @@ func (d queueDep[T]) Prepare(parent, child *sched.Frame) {
 
 	q.lockReg()
 	// Link as youngest live sibling of pqv's children on this queue.
-	cqv.prev = pqv.childTail
-	if pqv.childTail != nil {
-		pqv.childTail.next = cqv
-	} else {
-		pqv.childHead = cqv
-	}
-	pqv.childTail = cqv
+	q.eng.Link(&pqv.vs, &cqv.vs)
 	if d.mode&ModePush != 0 {
 		q.producers[child] = struct{}{}
 		// Once any producer registers, TryPop/ReadSlice misses must run
@@ -118,19 +112,10 @@ func (d queueDep[T]) Complete(parent, child *sched.Frame) {
 	cqv := q.viewsOf(child)
 
 	q.lockReg()
-	q.depositCompleted(cqv)
-
-	// Unlink from the live-sibling chain.
-	if cqv.prev != nil {
-		cqv.prev.next = cqv.next
-	} else {
-		cqv.parentQV.childHead = cqv.next
-	}
-	if cqv.next != nil {
-		cqv.next.prev = cqv.prev
-	} else {
-		cqv.parentQV.childTail = cqv.prev
-	}
+	// Deposit the child's views into its nearest live elder sibling or
+	// its parent and unlink it from the live-sibling chain — the
+	// substrate's Retire fold.
+	q.eng.Retire(&cqv.vs)
 
 	if d.mode&ModePush != 0 {
 		delete(q.producers, child)
@@ -147,7 +132,7 @@ func (d queueDep[T]) Complete(parent, child *sched.Frame) {
 	q.lockCons()
 	if pc := q.parked; pc != nil {
 		q.lockRegNested()
-		if !q.visibleProducerLive(pc.frame) {
+		if !q.visibleProducerLive(pc.vs.Frame) {
 			q.linkFrontier(pc)
 		}
 		q.unlockRegNested()

@@ -464,19 +464,19 @@ func TestReduceEmptyCases(t *testing.T) {
 	a, b := localView(s1), localView(s2)
 	var e view[int]
 	reduce(&a, &e) // reduce(v, ε) = v
-	if !a.valid || a.head != s1 {
+	if !a.Valid || a.Head != s1 {
 		t.Fatal("reduce with ε rhs changed lhs")
 	}
 	reduce(&e, &b) // reduce(ε, v) = v
-	if !e.valid || e.head != s2 {
+	if !e.Valid || e.Head != s2 {
 		t.Fatal("reduce with ε lhs did not adopt rhs")
 	}
-	if b.valid {
+	if b.Valid {
 		t.Fatal("rhs not cleared")
 	}
 	var e2, e3 view[int]
 	reduce(&e2, &e3) // reduce(ε, ε) = ε
-	if e2.valid || e3.valid {
+	if e2.Valid || e3.Valid {
 		t.Fatal("ε+ε produced non-ε")
 	}
 }
@@ -485,7 +485,7 @@ func TestReduceLocalConcatenates(t *testing.T) {
 	s1, s2 := newSegment[int](2), newSegment[int](2)
 	a, b := localView(s1), localView(s2)
 	reduce(&a, &b)
-	if a.head != s1 || a.tail != s2 {
+	if a.Head != s1 || a.Tail != s2 {
 		t.Fatal("concatenated view has wrong ends")
 	}
 	if s1.next.Load() != s2 {

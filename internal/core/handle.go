@@ -18,7 +18,7 @@ import "repro/internal/sched"
 // Handles cache only bindings that are immutable for the frame's
 // lifetime (the qviews pointer, the pool shard — stable for one task
 // body, see Frame.WorkerID); every mutable structure they touch
-// (qviews.user, the queue view, the pop tickets) is read through those
+// (the user view, the queue view, the pop tickets) is read through those
 // pointers at access time. The view algebra's invalidation points —
 // Prepare stealing the user view at spawn, syncHook folding children at
 // sync, linkFrontier re-splitting the frontier, Recycle re-arming the
@@ -59,19 +59,19 @@ func (q *Queue[T]) BindPush(f *sched.Frame) Pusher[T] {
 func (p *Pusher[T]) Push(v T) {
 	qv := p.qv
 	if fl := p.q.flow; fl != nil {
-		fl.acquire(qv.frame, 1) // blocks on an exhausted bound (flow.go)
+		fl.acquire(qv.vs.Frame, 1) // blocks on an exhausted bound (flow.go)
 	}
-	if !qv.user.valid {
+	if !qv.vs.User.Valid {
 		p.q.attachFreshSegment(qv)
 	}
-	seg := qv.user.tail
+	seg := qv.vs.User.Tail
 	if seg == nil {
 		panic("hyperqueue: user view has non-local tail at push (internal invariant broken)")
 	}
 	if seg.full() {
 		snew := p.q.pool.get(p.shard)
 		seg.next.Store(snew) // tail ownership: only this task may link here
-		qv.user.tail = snew
+		qv.vs.User.Tail = snew
 		seg = snew
 	}
 	seg.push(v)
@@ -98,15 +98,15 @@ func (p *Pusher[T]) PushSlice(vs []T) {
 	for len(vs) > 0 {
 		chunk := vs
 		if fl := q.flow; fl != nil {
-			n := fl.acquire(qv.frame, int64(len(vs)))
+			n := fl.acquire(qv.vs.Frame, int64(len(vs)))
 			chunk = vs[:n]
 		}
 		vs = vs[len(chunk):]
 		for len(chunk) > 0 {
-			if !qv.user.valid {
+			if !qv.vs.User.Valid {
 				q.attachFreshSegment(qv)
 			}
-			seg := qv.user.tail
+			seg := qv.vs.User.Tail
 			if seg == nil {
 				panic("hyperqueue: user view has non-local tail at push (internal invariant broken)")
 			}
@@ -114,7 +114,7 @@ func (p *Pusher[T]) PushSlice(vs []T) {
 			if free == 0 { // zero contiguous free ⟺ segment full
 				snew := q.pool.get(p.shard)
 				seg.next.Store(snew)
-				qv.user.tail = snew
+				qv.vs.User.Tail = snew
 				continue
 			}
 			take := min(int64(len(chunk)), free)
@@ -148,7 +148,7 @@ func (q *Queue[T]) BindPop(f *sched.Frame) Popper[T] {
 // steady-state cost is two atomic loads.
 func (p *Popper[T]) ensure() {
 	if p.qv.popServed.Load() != p.qv.popTickets.Load() {
-		p.q.acquireConsumer(p.qv.frame, p.qv)
+		p.q.acquireConsumer(p.qv.vs.Frame, p.qv)
 	}
 }
 
@@ -159,7 +159,7 @@ func (p *Popper[T]) Empty() bool {
 	if p.q.reachableData() {
 		return false
 	}
-	return p.q.emptyWait(p.qv.frame, p.qv)
+	return p.q.emptyWait(p.qv.vs.Frame, p.qv)
 }
 
 // Pop is Queue.Pop through the binding: it removes and returns the head
@@ -167,10 +167,10 @@ func (p *Popper[T]) Empty() bool {
 // panics on a permanently empty queue.
 func (p *Popper[T]) Pop() T {
 	p.ensure()
-	if !p.q.reachableData() && p.q.emptyWait(p.qv.frame, p.qv) {
+	if !p.q.reachableData() && p.q.emptyWait(p.qv.vs.Frame, p.qv) {
 		panic("hyperqueue: pop on permanently empty queue")
 	}
-	v := p.q.headView.head.pop()
+	v := p.q.headView.Head.pop()
 	if fl := p.q.flow; fl != nil {
 		fl.release(1) // credit the budget back; wakes blocked producers
 	}
@@ -182,11 +182,11 @@ func (p *Popper[T]) Pop() T {
 // deposited views), without blocking.
 func (p *Popper[T]) TryPop() (T, bool) {
 	p.ensure()
-	if !p.q.tryReachable(p.qv.frame, p.qv) {
+	if !p.q.tryReachable(p.qv.vs.Frame, p.qv) {
 		var zero T
 		return zero, false
 	}
-	v := p.q.headView.head.pop()
+	v := p.q.headView.Head.pop()
 	if fl := p.q.flow; fl != nil {
 		fl.release(1)
 	}
@@ -206,10 +206,10 @@ func (p *Popper[T]) PopInto(dst []T) int {
 	p.ensure()
 	n := 0
 	for n < len(dst) {
-		if !p.q.tryReachable(p.qv.frame, p.qv) {
+		if !p.q.tryReachable(p.qv.vs.Frame, p.qv) {
 			break
 		}
-		s := p.q.headView.head
+		s := p.q.headView.Head
 		start, avail := s.contiguousReadable()
 		take := int64(len(dst) - n)
 		if take > avail {
@@ -233,10 +233,10 @@ func (p *Popper[T]) PopInto(dst []T) int {
 // with ConsumeRead.
 func (p *Popper[T]) ReadSlice(max int) []T {
 	p.ensure()
-	if max < 1 || !p.q.tryReachable(p.qv.frame, p.qv) {
+	if max < 1 || !p.q.tryReachable(p.qv.vs.Frame, p.qv) {
 		return nil
 	}
-	s := p.q.headView.head
+	s := p.q.headView.Head
 	start, n := s.contiguousReadable()
 	if n > int64(max) {
 		n = int64(max)
@@ -250,7 +250,7 @@ func (p *Popper[T]) ReadSlice(max int) []T {
 // the GC-clearing and the head advance are single span operations.
 func (p *Popper[T]) ConsumeRead(n int) {
 	p.ensure()
-	s := p.q.headView.head
+	s := p.q.headView.Head
 	if int64(n) > s.size() {
 		panic("hyperqueue: ConsumeRead past the end of the read slice")
 	}

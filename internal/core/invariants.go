@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"repro/internal/core/hyper"
 	"repro/internal/sched"
 )
 
@@ -41,33 +42,34 @@ func SetDebugChecks(on bool) { debugChecks.Store(on) }
 // queue lock would deadlock the rest of the task tree instead of
 // surfacing the report.
 func (q *Queue[T]) checkNoHiddenDataLocked(qv *qviews[T]) string {
-	cf := qv.frame
-	var walk func(n *qviews[T]) string
-	walk = func(n *qviews[T]) string {
+	cf := qv.vs.Frame
+	target := &qv.vs
+	var walk func(n *hyper.ViewSet[view[T]]) string
+	walk = func(n *hyper.ViewSet[view[T]]) string {
 		switch {
-		case n == qv:
-			if n.children.hasData() || n.user.hasData() {
+		case n == target:
+			if viewHasData(&n.Children) || viewHasData(&n.User) {
 				return "hyperqueue: Empty returned true while the consumer's own views hold data (frontier fold incomplete)"
 			}
-		case n.frame.IsAncestorOf(cf):
-			if n.children.hasData() {
+		case n.Frame.IsAncestorOf(cf):
+			if viewHasData(&n.Children) {
 				return "hyperqueue: Empty returned true while an ancestor's children view holds data (frontier fold incomplete)"
 			}
-		case cf.IsAncestorOf(n.frame):
+		case cf.IsAncestorOf(n.Frame):
 			return "hyperqueue: live descendant holds queue views while the consumer declared permanent emptiness"
-		case n.frame.Before(cf):
-			if n.children.hasData() || n.user.hasData() || n.right.hasData() {
+		case n.Frame.Before(cf):
+			if viewHasData(&n.Children) || viewHasData(&n.User) || viewHasData(&n.Right) {
 				return "hyperqueue: task ordered before the consumer is live with data at a permanent-emptiness decision"
 			}
 		}
-		for c := n.childHead; c != nil; c = c.next {
+		for c := n.ChildHead; c != nil; c = c.Next {
 			if v := walk(c); v != "" {
 				return v
 			}
 		}
 		return ""
 	}
-	return walk(q.ownerQV)
+	return walk(&q.ownerQV.vs)
 }
 
 // InvariantViolation describes one violated invariant.
@@ -96,13 +98,13 @@ func (q *Queue[T]) CheckInvariants(f *sched.Frame) []InvariantViolation {
 
 	// Invariant 1: every hyperqueue holds at least one segment; the
 	// queue view's head pointer is local (invariant 2 gives uniqueness).
-	if !q.headView.valid || q.headView.head == nil {
+	if !q.headView.Valid || q.headView.Head == nil {
 		report(1, "queue view has no local head segment: %s", q.headView.String())
 		return out
 	}
 
 	// Invariant 3: the tail pointer of the queue view is non-local.
-	if q.headView.tail != nil {
+	if q.headView.Tail != nil {
 		report(3, "queue view has a local tail: %s", q.headView.String())
 	}
 
@@ -110,22 +112,22 @@ func (q *Queue[T]) CheckInvariants(f *sched.Frame) []InvariantViolation {
 	// live tasks, only the owner's views exist.
 	qv := q.ownerQV
 	views := map[string]*view[T]{
-		"owner.children": &qv.children,
-		"owner.user":     &qv.user,
-		"owner.right":    &qv.right,
+		"owner.children": &qv.vs.Children,
+		"owner.user":     &qv.vs.User,
+		"owner.right":    &qv.vs.Right,
 	}
 
 	// Invariant 3 (second half): the user view's head is non-local
 	// unless the view is empty.
-	if qv.user.valid && qv.user.head != nil {
-		report(3, "owner user view has a local head: %s", qv.user.String())
+	if qv.vs.User.Valid && qv.vs.User.Head != nil {
+		report(3, "owner user view has a local head: %s", qv.vs.User.String())
 	}
 
 	// Walk the segment chain from the queue head; every segment must be
 	// reachable exactly once (invariant 4: one next pointer or one view
 	// head pointer per segment).
 	seen := map[*segment[T]]string{}
-	for s, i := q.headView.head, 0; s != nil; s = s.next.Load() {
+	for s, i := q.headView.Head, 0; s != nil; s = s.next.Load() {
 		if prev, dup := seen[s]; dup {
 			report(4, "segment reached twice (%s and chain position %d)", prev, i)
 			break
@@ -137,7 +139,7 @@ func (q *Queue[T]) CheckInvariants(f *sched.Frame) []InvariantViolation {
 	// Invariant 5: a view's tail pointer, when local, must point to a
 	// segment whose next pointer is nil (the open tail).
 	for name, v := range views {
-		if v.valid && v.tail != nil && v.tail.next.Load() != nil {
+		if v.Valid && v.Tail != nil && v.Tail.next.Load() != nil {
 			report(5, "%s tail points to a segment with a next link", name)
 		}
 	}
@@ -147,16 +149,16 @@ func (q *Queue[T]) CheckInvariants(f *sched.Frame) []InvariantViolation {
 	// created by the same split at construction or restored by
 	// reductions). An ε user view means all data has been folded and the
 	// pair is closed by children — which must then also be ε or paired.
-	if qv.user.valid && qv.user.head == nil {
-		if qv.children.valid {
+	if qv.vs.User.Valid && qv.vs.User.Head == nil {
+		if qv.vs.Children.Valid {
 			// children precedes user: children.tail pairs with user.head.
-			if qv.children.tail == nil && qv.children.tailNL != qv.user.headNL {
+			if qv.vs.Children.Tail == nil && qv.vs.Children.TailNL != qv.vs.User.HeadNL {
 				report(7, "children/user non-local pair mismatch: %d vs %d",
-					qv.children.tailNL, qv.user.headNL)
+					qv.vs.Children.TailNL, qv.vs.User.HeadNL)
 			}
-		} else if q.headView.tailNL != qv.user.headNL {
+		} else if q.headView.TailNL != qv.vs.User.HeadNL {
 			report(7, "queue/user non-local pair mismatch: %d vs %d",
-				q.headView.tailNL, qv.user.headNL)
+				q.headView.TailNL, qv.vs.User.HeadNL)
 		}
 	}
 
@@ -164,16 +166,16 @@ func (q *Queue[T]) CheckInvariants(f *sched.Frame) []InvariantViolation {
 	// reachable from the head chain (invariant 4's consequence). The
 	// owner views' local pointers must land inside the chain.
 	for name, v := range views {
-		if !v.valid {
+		if !v.Valid {
 			continue
 		}
-		if v.head != nil {
-			if _, ok := seen[v.head]; !ok {
+		if v.Head != nil {
+			if _, ok := seen[v.Head]; !ok {
 				report(4, "%s head segment not reachable from queue head", name)
 			}
 		}
-		if v.tail != nil {
-			if _, ok := seen[v.tail]; !ok {
+		if v.Tail != nil {
+			if _, ok := seen[v.Tail]; !ok {
 				report(4, "%s tail segment not reachable from queue head", name)
 			}
 		}

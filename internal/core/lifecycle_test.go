@@ -45,7 +45,7 @@ func TestRuntimePoolSharedAcrossQueues(t *testing.T) {
 		for i := 0; i < 4; i++ {
 			q2.Push(f, i)
 		}
-		if tail := q2.viewsOf(f).user.tail; !pooled[tail] {
+		if tail := q2.viewsOf(f).vs.User.Tail; !pooled[tail] {
 			t.Fatal("q2's overflow allocated a fresh segment while q1's recycled ones were pooled")
 		}
 	})

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/core/hyper"
 	"repro/internal/sched"
 )
 
@@ -106,6 +107,13 @@ type Queue[T any] struct {
 	// Empty's visibility test.
 	producers map[*sched.Frame]struct{}
 	nlctr     uint64 // non-local pair id allocator
+	// eng performs the structural view folds (link, hand-off, deposit,
+	// sync fold, frontier fold, head sharing) on the generic substrate
+	// (internal/core/hyper). The engine is lock-agnostic; every call
+	// that touches shared view-set state runs under regMu (possibly
+	// nested inside consMu), preserving the split-lock discipline and
+	// the legacy single-mutex ablation.
+	eng hyper.Engine[view[T], qviewOps[T]]
 
 	// flow is the bounded-capacity / metering block (flow.go), nil for
 	// plain unbounded queues — the hot paths pay a single predictable
@@ -124,32 +132,28 @@ type Queue[T any] struct {
 	ownerQV *qviews[T]
 }
 
-// qviews is the per-(task, queue) view set of §4: children, user and
-// right views, plus the bookkeeping that ties the task into the queue's
-// program-order structures.
+// qviews is the per-(task, queue) view set of §4: the substrate's
+// ViewSet (children, user and right views plus the live-sibling chain)
+// together with the queue-specific consumer-serialization tickets.
 //
-// Locking: user is private to the frame's goroutine (it is only touched
-// by the frame's own push/sync/complete, by Prepare calls the frame
-// itself makes, and — for a parked consumer — by a Complete-side
-// frontier fold holding consMu). children and right are shared —
+// Locking: vs.User is private to the frame's goroutine (it is only
+// touched by the frame's own push/sync/complete, by Prepare calls the
+// frame itself makes, and — for a parked consumer — by a Complete-side
+// frontier fold holding consMu). vs.Children and vs.Right are shared —
 // siblings deposit into them — and are guarded by Queue.regMu, as are
 // the sibling links.
 type qviews[T any] struct {
-	q     *Queue[T]
-	frame *sched.Frame
-	mode  AccessMode
+	q    *Queue[T]
+	mode AccessMode
 
-	user     view[T]
-	children view[T] // guarded by q.regMu
-	right    view[T] // guarded by q.regMu
+	// vs is the task's view set on the substrate, maintained by q.eng
+	// under q.regMu.
+	vs hyper.ViewSet[view[T]]
 
-	// Live-sibling chain among children (holding views on q) of the same
-	// parent, in program order. Guarded by q.regMu. parentQV is
-	// immutable after Prepare.
-	parentQV   *qviews[T]
-	prev, next *qviews[T]
-	childHead  *qviews[T]
-	childTail  *qviews[T]
+	// parentQV duplicates vs.Parent at the queue layer (immutable after
+	// Prepare): the consumer-serialization tickets below live on
+	// qviews, not on the substrate's ViewSet.
+	parentQV *qviews[T]
 
 	// Consumer serialization (§2.3 rule 3): pop-privileged children of
 	// this frame execute one at a time, in spawn order, and the frame's
@@ -209,9 +213,10 @@ func newQueue[T any](f *sched.Frame, segCap int, legacy bool, opts ...QueueOptio
 	}
 	q.pool = poolFor[T](q.prov, segCap)
 	s0 := q.pool.get(q.pool.shard(f.WorkerID()))
-	qv := &qviews[T]{q: q, frame: f, mode: ModePushPop}
+	qv := &qviews[T]{q: q, mode: ModePushPop}
+	qv.vs.Frame = f
 	q.nlctr++
-	q.headView, qv.user = split(s0, q.nlctr)
+	q.headView, qv.vs.User = split(s0, q.nlctr)
 	q.ownerQV = qv
 	f.SetAttachment(queueKey[T]{q}, qv)
 	f.AddSyncHook(func() { q.syncHook(qv) })
@@ -286,12 +291,12 @@ func (q *Queue[T]) mustViews(f *sched.Frame, need AccessMode) *qviews[T] {
 }
 
 // syncHook folds the children view into the user view at a sync point
-// (§4.2, "Sync"): user ← reduce(children, user).
+// (§4.2, "Sync"): user ← reduce(children, user). The fold itself lives
+// in the substrate (hyper.Engine.SyncFold).
 func (q *Queue[T]) syncHook(qv *qviews[T]) {
 	q.lockReg()
 	defer q.unlockReg()
-	reduce(&qv.children, &qv.user)
-	qv.children, qv.user = qv.user, qv.children // result belongs in user; children becomes ε
+	q.eng.SyncFold(&qv.vs)
 }
 
 // Push appends v to the queue in the pushing task's position of serial
@@ -311,57 +316,17 @@ func (q *Queue[T]) Push(f *sched.Frame, v T) {
 // tail-only half as the user view and hand the head-only half to the
 // immediately preceding view in program order so the consumer can
 // discover it as early as possible (the "double reduction" of §4.5).
+// The predecessor search — youngest live child, own children view, then
+// climbing the spawn tree — lives in the substrate
+// (hyper.Engine.ShareToPredecessor).
 func (q *Queue[T]) attachFreshSegment(qv *qviews[T]) {
-	snew := q.pool.get(q.pool.shard(qv.frame.WorkerID()))
+	snew := q.pool.get(q.pool.shard(qv.vs.Frame.WorkerID()))
 	q.lockReg()
 	defer q.unlockReg()
 	q.nlctr++
 	tmp, user := split(snew, q.nlctr)
-	qv.user = user
-	q.shareHead(qv, tmp)
-}
-
-// shareHead deposits a head-only view into the nearest preceding live
-// view in program order (§4.1): the pusher's youngest live child, else
-// its own children view, else — climbing the spawn tree — the nearest
-// live elder sibling's right view or an ancestor's children view, ending
-// at the queue owner's children view. Caller holds q.regMu.
-func (q *Queue[T]) shareHead(qv *qviews[T], tmp view[T]) {
-	if yc := qv.childTail; yc != nil {
-		reduce(&yc.right, &tmp)
-		return
-	}
-	if qv.children.valid {
-		reduce(&qv.children, &tmp)
-		return
-	}
-	cur := qv
-	for cur.parentQV != nil {
-		if s := cur.prev; s != nil {
-			reduce(&s.right, &tmp)
-			return
-		}
-		p := cur.parentQV
-		if p.children.valid {
-			reduce(&p.children, &tmp)
-			return
-		}
-		cur = p
-	}
-	// Top-level (queue owner): merge with its children view (§4.1).
-	reduce(&cur.children, &tmp)
-}
-
-// depositCompleted folds a completed task's user view into its nearest
-// live elder sibling's right view, or its parent's children view (§4.2,
-// "Return from spawn with push privileges"). Caller holds q.regMu.
-func (q *Queue[T]) depositCompleted(qv *qviews[T]) {
-	reduce(&qv.user, &qv.right)
-	if s := qv.prev; s != nil {
-		reduce(&s.right, &qv.user)
-		return
-	}
-	reduce(&qv.parentQV.children, &qv.user)
+	qv.vs.User = user
+	q.eng.ShareToPredecessor(&qv.vs, &tmp)
 }
 
 // wakeConsumer wakes a consumer blocked in Empty or Pop, if any. On the
@@ -472,7 +437,7 @@ func (q *Queue[T]) acquireConsumer(f *sched.Frame, qv *qviews[T]) {
 // and 5), so the consumer owns it exclusively.
 func (q *Queue[T]) reachableData() bool {
 	for {
-		s := q.headView.head
+		s := q.headView.Head
 		if s.size() > 0 {
 			return true
 		}
@@ -485,7 +450,7 @@ func (q *Queue[T]) reachableData() bool {
 		if s.size() > 0 {
 			return true
 		}
-		q.headView.head = n
+		q.headView.Head = n
 		q.pool.put(q.consShard, s)
 	}
 }
@@ -494,7 +459,8 @@ func (q *Queue[T]) reachableData() bool {
 // position into the queue view, making the values they hold physically
 // reachable from the head chain. This is the §4.5 "double reduction"
 // applied at the consumer: deposits performed by completed producers
-// (depositCompleted, shareHead) only splice views together logically;
+// (the engine's Retire and ShareToPredecessor) only splice views
+// together logically;
 // the physical next links materialize when matching local ends finally
 // reduce, which without this fold can be as late as the consumer's own
 // completion — far too late for its own pops.
@@ -525,22 +491,12 @@ func (q *Queue[T]) reachableData() bool {
 // the serial frontier share one split, restoring invariant 3 and letting
 // the consumer's next push extend the chain in place.
 func (q *Queue[T]) linkFrontier(qv *qviews[T]) {
-	// The spawn path is almost always shallow; a small stack buffer keeps
-	// the fold allocation-free (Recycle runs it on the churn hot loop).
-	var pathBuf [16]*qviews[T]
-	path := pathBuf[:0]
-	for p := qv; p != nil; p = p.parentQV {
-		path = append(path, p)
-	}
-	for i := len(path) - 1; i >= 0; i-- {
-		reduce(&q.headView, &path[i].children)
-	}
-	reduce(&q.headView, &qv.user)
-	if q.headView.tail != nil {
+	q.eng.FoldFrontier(&qv.vs, &q.headView)
+	if q.headView.Tail != nil {
 		q.nlctr++
-		qv.user = view[T]{headNL: q.nlctr, tail: q.headView.tail, valid: true}
-		q.headView.tail = nil
-		q.headView.tailNL = q.nlctr
+		qv.vs.User = view[T]{HeadNL: q.nlctr, Tail: q.headView.Tail, Valid: true}
+		q.headView.Tail = nil
+		q.headView.TailNL = q.nlctr
 	}
 }
 
@@ -744,7 +700,7 @@ func (q *Queue[T]) CanRecycle(f *sched.Frame) bool {
 		return false
 	}
 	q.lockReg()
-	ok := len(q.producers) == 0 && qv.childHead == nil
+	ok := len(q.producers) == 0 && qv.vs.ChildHead == nil
 	q.unlockReg()
 	return ok
 }
@@ -777,7 +733,7 @@ func (q *Queue[T]) Recycle(f *sched.Frame) {
 		q.unlockRegNested()
 		q.consMu.Unlock()
 		panic("hyperqueue: Recycle while push-privileged tasks are live")
-	case qv.childHead != nil:
+	case qv.vs.ChildHead != nil:
 		q.unlockRegNested()
 		q.consMu.Unlock()
 		panic("hyperqueue: Recycle while tasks holding privileges on the queue are live")
@@ -790,7 +746,7 @@ func (q *Queue[T]) Recycle(f *sched.Frame) {
 	// so the §4.5 frontier fold covers everything), then verify the chain
 	// holds no data before releasing it.
 	q.linkFrontier(qv)
-	for s := q.headView.head; s != nil; s = s.next.Load() {
+	for s := q.headView.Head; s != nil; s = s.next.Load() {
 		if s.size() > 0 {
 			q.unlockRegNested()
 			q.consMu.Unlock()
@@ -798,15 +754,15 @@ func (q *Queue[T]) Recycle(f *sched.Frame) {
 		}
 	}
 	sid := q.pool.shard(f.WorkerID())
-	for s := q.headView.head; s != nil; {
+	for s := q.headView.Head; s != nil; {
 		next := s.next.Load()
 		q.pool.put(sid, s) // resets the segment; drops oversized ones
 		s = next
 	}
 	s0 := q.pool.get(sid)
 	q.nlctr++
-	q.headView, qv.user = split(s0, q.nlctr)
-	qv.children, qv.right = emptyView[T](), emptyView[T]()
+	q.headView, qv.vs.User = split(s0, q.nlctr)
+	qv.vs.Children, qv.vs.Right = emptyView[T](), emptyView[T]()
 	q.everProducer.Store(false)
 	if q.flow != nil {
 		// The drain check above proved every pushed value was popped, so

@@ -33,6 +33,14 @@ func newSegment[T any](capacity int) *segment[T] {
 	return &segment[T]{buf: make([]T, capacity)}
 }
 
+// NextSeg and SetNextSeg implement hyper.Chain, letting the generic
+// pairing discipline (hyper.View, hyper.PairOps) link segment chains
+// without knowing the segment type.
+
+func (s *segment[T]) NextSeg() *segment[T] { return s.next.Load() }
+
+func (s *segment[T]) SetNextSeg(n *segment[T]) { s.next.Store(n) }
+
 // reset returns a drained segment to its freshly-allocated state so the
 // pool can hand it to a new producer. The caller must own the segment
 // exclusively. The buffer needs no clearing: pop and ConsumeRead zero

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/core/hyper"
 	"repro/internal/sched"
 )
 
@@ -65,6 +66,14 @@ type PoolProvider struct {
 	flowMu   sync.Mutex
 	flows    []*flowState
 	autoName atomic.Uint64 // "queue-N" names for unnamed bounded queues
+
+	// hypers is the registry of named reducers and hypermaps, read by
+	// HyperStats for the swan metrics endpoint. Like flows, only Named
+	// objects register (HyperNamed), registration happens once per
+	// construction, and entries are never removed — unnamed objects stay
+	// unregistered so churny callers do not grow the registry.
+	hyperMu sync.Mutex
+	hypers  []hyper.Hyperobject
 }
 
 // RecycledQueues reports how many Queue.Recycle resets have completed
@@ -85,6 +94,42 @@ func (p *PoolProvider) registerFlow(fl *flowState) {
 	p.flowMu.Lock()
 	p.flows = append(p.flows, fl)
 	p.flowMu.Unlock()
+}
+
+// registerHyper adds a named hyperobject (reducer, hypermap) to the
+// provider registry.
+func (p *PoolProvider) registerHyper(h hyper.Hyperobject) {
+	p.hyperMu.Lock()
+	p.hypers = append(p.hypers, h)
+	p.hyperMu.Unlock()
+}
+
+// HyperStats snapshots every named hyperobject of the runtime, in order
+// of first appearance. Objects sharing a name and kind — a per-run
+// reducer constructed once per pipeline instance, for example —
+// aggregate into one row: merge and view counters sum, so the name
+// labels the role rather than one object instance.
+func (p *PoolProvider) HyperStats() []hyper.Stat {
+	p.hyperMu.Lock()
+	hypers := p.hypers
+	p.hyperMu.Unlock()
+	var out []hyper.Stat
+	type key struct{ name, kind string }
+	index := make(map[key]int, len(hypers))
+	for _, h := range hypers {
+		s := h.HyperStat()
+		k := key{s.Name, s.Kind}
+		i, ok := index[k]
+		if !ok {
+			index[k] = len(out)
+			out = append(out, s)
+			continue
+		}
+		agg := &out[i]
+		agg.Merges += s.Merges
+		agg.Views += s.Views
+	}
+	return out
 }
 
 // QueueStats snapshots every metered queue of the runtime, in order of

@@ -88,7 +88,7 @@ func TestSegmentRecyclingThroughQueue(t *testing.T) {
 		for i := 0; i < 6; i++ {
 			q.Push(f, i)
 		}
-		if tail := q.viewsOf(f).user.tail; !pooled[tail] {
+		if tail := q.viewsOf(f).vs.User.Tail; !pooled[tail] {
 			t.Fatal("overflow push allocated a fresh segment while recycled ones were pooled")
 		}
 		for i := 0; i < 6; i++ {

@@ -39,10 +39,10 @@ func (q *Queue[T]) WriteSlice(f *sched.Frame, n int) []T {
 	if n < 1 {
 		return nil
 	}
-	if !qv.user.valid {
+	if !qv.vs.User.Valid {
 		q.attachFreshSegment(qv)
 	}
-	seg := qv.user.tail
+	seg := qv.vs.User.Tail
 	start, free := seg.contiguousWritable()
 	if free < int64(n) {
 		var snew *segment[T]
@@ -54,7 +54,7 @@ func (q *Queue[T]) WriteSlice(f *sched.Frame, n int) []T {
 			snew = q.pool.get(q.pool.shard(f.WorkerID()))
 		}
 		seg.next.Store(snew)
-		qv.user.tail = snew
+		qv.vs.User.Tail = snew
 		seg = snew
 		start = 0
 	}
@@ -69,7 +69,7 @@ func (q *Queue[T]) WriteSlice(f *sched.Frame, n int) []T {
 // chunks, waking the consumer between chunks, exactly like PushSlice.
 func (q *Queue[T]) CommitWrite(f *sched.Frame, n int) {
 	qv := q.mustViews(f, ModePush)
-	seg := qv.user.tail
+	seg := qv.vs.User.Tail
 	if seg == nil {
 		panic("hyperqueue: CommitWrite without WriteSlice")
 	}

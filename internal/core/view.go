@@ -1,121 +1,58 @@
 package core
 
-import "fmt"
+import "repro/internal/core/hyper"
 
-// view is a (head, tail) pair over a chain of queue segments (§3.3).
-//
-// Each of head and tail is either local — a real segment pointer — or
-// non-local: a marker that the corresponding end of the chain is shared
-// with an adjacent view in program order. The paper represents non-local
-// pointers by null; here each non-local pointer additionally carries a
-// unique id so that the pairing discipline ("non-local pointers always
-// occur in pairs and must match between successive views in program
-// order") can be asserted at every reduction.
-//
-// The empty view ε is the zero value (valid == false). A shared view with
-// two non-local ends is distinct from ε, exactly as in the paper.
-type view[T any] struct {
-	head   *segment[T]
-	tail   *segment[T]
-	headNL uint64 // pair id when head is non-local (head == nil)
-	tailNL uint64 // pair id when tail is non-local (tail == nil)
-	valid  bool
-}
+// view is the queue's instantiation of the substrate's paired chain
+// view (§3.3): hyper.View over *segment[T]. The pairing/reduction
+// discipline itself — split, reduce, the non-local pair ids and their
+// assertions — lives in internal/core/hyper (pair.go), shared with
+// every other hyperobject; this file keeps the queue-specific glue and
+// diagnostics.
+type view[T any] = hyper.View[*segment[T]]
+
+// qviewOps is the queue's Ops instantiation, used by the queue's
+// engine and the free reduce below.
+type qviewOps[T any] = hyper.PairOps[*segment[T]]
 
 // emptyView returns ε.
 func emptyView[T any]() view[T] { return view[T]{} }
 
 // localView returns the local view (s, s).
-func localView[T any](s *segment[T]) view[T] {
-	return view[T]{head: s, tail: s, valid: true}
+func localView[T any](s *segment[T]) view[T] { return hyper.Local(s) }
+
+// split implements split((s,s)) = ((s, pNL), (pNL, s)) (§3.3); see
+// hyper.Split.
+func split[T any](s *segment[T], pairID uint64) (headOnly, tailOnly view[T]) {
+	return hyper.Split(s, pairID)
 }
 
-// hasLocalTail reports whether the view can accept pushes at its tail.
-func (v *view[T]) hasLocalTail() bool { return v.valid && v.tail != nil }
+// reduce implements reduce((h1,t1),(h2,t2)) = ((h1,t2), ε) (§3.3); see
+// hyper.PairOps.Reduce. The queue's structural folds go through its
+// engine (so effective merges are counted); this free function exists
+// for the view unit tests.
+func reduce[T any](v1, v2 *view[T]) {
+	var ops qviewOps[T]
+	ops.Reduce(v1, v2)
+}
 
-// hasLocalHead reports whether the view exposes a poppable head.
-func (v *view[T]) hasLocalHead() bool { return v.valid && v.head != nil }
-
-// hasData reports whether any segment of the view's chain holds a value.
-// It is a diagnostic helper for the invariant checker, not a hot-path
-// primitive: a view with a non-local head cannot be walked from its
-// start, so only its tail segment is inspected in that case.
-func (v *view[T]) hasData() bool {
-	if !v.valid {
+// viewHasData reports whether any segment of the view's chain holds a
+// value. It is a diagnostic helper for the invariant checker, not a
+// hot-path primitive: a view with a non-local head cannot be walked
+// from its start, so only its tail segment is inspected in that case.
+func viewHasData[T any](v *view[T]) bool {
+	if !v.Valid {
 		return false
 	}
-	if v.head == nil {
-		return v.tail != nil && v.tail.size() > 0
+	if v.Head == nil {
+		return v.Tail != nil && v.Tail.size() > 0
 	}
-	for s := v.head; s != nil; s = s.next.Load() {
+	for s := v.Head; s != nil; s = s.next.Load() {
 		if s.size() > 0 {
 			return true
 		}
-		if s == v.tail {
+		if s == v.Tail {
 			break
 		}
 	}
 	return false
-}
-
-func (v *view[T]) String() string {
-	if !v.valid {
-		return "ε"
-	}
-	h, t := "h", "t"
-	if v.head == nil {
-		h = fmt.Sprintf("NL%d", v.headNL)
-	}
-	if v.tail == nil {
-		t = fmt.Sprintf("NL%d", v.tailNL)
-	}
-	return fmt.Sprintf("(%s,%s)", h, t)
-}
-
-// split implements split((s,s)) = ((s, pNL), (pNL, s)) (§3.3): it turns
-// the local view on segment s into a head-only view and a tail-only view
-// sharing a fresh non-local pair id. The head-only view is returned
-// first.
-func split[T any](s *segment[T], pairID uint64) (headOnly, tailOnly view[T]) {
-	headOnly = view[T]{head: s, tailNL: pairID, valid: true}
-	tailOnly = view[T]{headNL: pairID, tail: s, valid: true}
-	return headOnly, tailOnly
-}
-
-// reduce implements reduce((h1,t1),(h2,t2)) = ((h1,t2), ε) (§3.3). The
-// result replaces *v1 and *v2 becomes ε.
-//
-// Cases:
-//  1. t1 and h2 local: the chains are concatenated by linking t1.next to
-//     h2's segment.
-//  2. t1 and h2 non-local: they must be a matching pair (the inverse of a
-//     split); the segments are already linked.
-//  3. Either argument ε: the other is the result.
-//
-// Any other combination indicates a broken program-order discipline and
-// panics; the property tests exercise that these cases never arise.
-func reduce[T any](v1, v2 *view[T]) {
-	if !v2.valid {
-		return
-	}
-	if !v1.valid {
-		*v1 = *v2
-		*v2 = emptyView[T]()
-		return
-	}
-	switch {
-	case v1.tail != nil && v2.head != nil:
-		if v1.tail.next.Load() != nil {
-			panic("hyperqueue: reduce would overwrite a next link (invariant 5 violated)")
-		}
-		v1.tail.next.Store(v2.head)
-	case v1.tail == nil && v2.head == nil:
-		if v1.tailNL != v2.headNL {
-			panic(fmt.Sprintf("hyperqueue: mismatched non-local pair in reduce: %d vs %d", v1.tailNL, v2.headNL))
-		}
-	default:
-		panic(fmt.Sprintf("hyperqueue: invalid reduction %s + %s", v1.String(), v2.String()))
-	}
-	v1.tail, v1.tailNL = v2.tail, v2.tailNL
-	*v2 = emptyView[T]()
 }

@@ -18,13 +18,15 @@
 // identity is versioned rather than frozen: PR 4 extended the action
 // set from 7 to 9 kinds, PR 5 from 9 to 11 (bound-handle push bursts —
 // scalar Push or bulk PushSlice — and bound-handle Empty-guarded
-// PopInto consumption), and PR 6 appended per-queue bound draws after
+// PopInto consumption), PR 6 appended per-queue bound draws after
 // tree generation — about half the queues of each program are built
 // with swan.Bounded, exercising the credit accounting on every push and
-// pop path. The appended draws leave the (seed, queues) → tree mapping
-// of PR 5 intact, but a failure report is still (generator version,
-// seed, queues), never just a seed, and now includes the bound
-// assignment. Generated bounds are always at least the queue's total
+// pop path — and PR 7 extended the set from 11 to 12 kinds (reducer
+// folds through swan.Reduce, checked against a serial-order RedOracle
+// with an order-sensitive list-append monoid) plus a per-child
+// reducer-privilege draw, changing the (seed, queues) → tree mapping. A
+// failure report is therefore (generator version, seed, queues), never
+// just a seed, and includes the bound assignment and reducer fold. Generated bounds are always at least the queue's total
 // push count: generated programs may legally terminate with values
 // still enqueued and may produce out of serial order through sibling
 // producers, either of which can wedge a tight bound (see the in-order
@@ -60,6 +62,7 @@ const (
 	actReadSliceN // GenerateMulti only: consume n values via ReadSlice/ConsumeRead
 	actBindPushN  // GenerateMulti only: push n values through a bound Pusher
 	actBindPopN   // GenerateMulti only: consume n values via Popper.PopInto
+	actReduceAdd  // GenerateMulti only: fold a value into the program's reducer
 )
 
 type action struct {
@@ -72,10 +75,13 @@ type action struct {
 
 // task is one node of the generated spawn tree. modes[qi] is the
 // privilege mask the task holds on queue qi: 1=push, 2=pop, 3=both,
-// 0=none (no dependence is passed for that queue).
+// 0=none (no dependence is passed for that queue). red is the write
+// privilege on the program's reducer (GenerateMulti only): the root
+// holds it and children inherit it by random draw, like queue modes.
 type task struct {
 	id    int
 	modes []uint8
+	red   bool
 	acts  []action
 }
 
@@ -92,17 +98,23 @@ type Program struct {
 	// with, 0 for unbounded. Nil for Generate programs (the frozen
 	// single-queue generator predates bounds).
 	Bounds []int
-	root   *task
+	// RedOracle is the serial elision of the program's reducer: the
+	// values reducer-privileged tasks fold in, in serial program order.
+	// The list-append monoid is order-sensitive, so a merge performed
+	// out of serial order cannot cancel out. Nil for Generate programs.
+	RedOracle []int
+	root      *task
 }
 
 type generator struct {
-	r       *rng.RNG
-	nq      int
-	nextID  int
-	nextVal int
-	oracle  map[int][]int
-	serialQ [][]int // the serial elision's FIFO content, per queue
-	pushed  []int   // values ever pushed, per queue (for safe bound draws)
+	r         *rng.RNG
+	nq        int
+	nextID    int
+	nextVal   int
+	oracle    map[int][]int
+	serialQ   [][]int // the serial elision's FIFO content, per queue
+	pushed    []int   // values ever pushed, per queue (for safe bound draws)
+	redOracle []int   // reducer folds in serial (= generation) order
 }
 
 // Generate builds the original single-queue random program for seed.
@@ -176,7 +188,7 @@ func GenerateMulti(seed uint64, queues int) *Program {
 	for i := range modes {
 		modes[i] = 3
 	}
-	root := g.genMulti(modes, 4)
+	root := g.genMulti(modes, true, 4)
 	// Bound draws come after the tree so the (seed, queues) → tree
 	// mapping is stable; a bound of at least the total push count plus a
 	// little jitter accounts credits on every path without ever blocking
@@ -187,11 +199,11 @@ func GenerateMulti(seed uint64, queues int) *Program {
 			bounds[qi] = max(1, g.pushed[qi]) + g.r.Intn(4)
 		}
 	}
-	return &Program{Seed: seed, Queues: queues, Oracle: g.oracle, Tasks: g.nextID, Values: g.nextVal, Bounds: bounds, root: root}
+	return &Program{Seed: seed, Queues: queues, Oracle: g.oracle, Tasks: g.nextID, Values: g.nextVal, Bounds: bounds, RedOracle: g.redOracle, root: root}
 }
 
-func (g *generator) genMulti(modes []uint8, depth int) *task {
-	td := &task{id: g.nextID, modes: modes}
+func (g *generator) genMulti(modes []uint8, red bool, depth int) *task {
+	td := &task{id: g.nextID, modes: modes, red: red}
 	g.nextID++
 	// consume appends a bounded-count consumer action (Pop, TryPop or
 	// ReadSlice — identical generation bookkeeping, identical RNG draws)
@@ -208,7 +220,7 @@ func (g *generator) genMulti(modes []uint8, depth int) *task {
 		g.serialQ[qi] = g.serialQ[qi][n:]
 	}
 	for i, n := 0, 2+g.r.Intn(6); i < n; i++ {
-		switch g.r.Intn(11) {
+		switch g.r.Intn(12) {
 		case 0, 1: // push burst on one queue
 			qi := g.r.Intn(g.nq)
 			if modes[qi]&1 == 0 {
@@ -232,7 +244,8 @@ func (g *generator) genMulti(modes []uint8, depth int) *task {
 			for qi := range cm {
 				cm[qi] = modes[qi] & uint8(g.r.Intn(4))
 			}
-			td.acts = append(td.acts, action{kind: kind, child: g.genMulti(cm, depth-1)})
+			cred := red && g.r.Intn(2) == 0
+			td.acts = append(td.acts, action{kind: kind, child: g.genMulti(cm, cred, depth-1)})
 		case 4: // pop a bounded number of values from one queue
 			consume(actPopN)
 		case 5: // drain one queue to permanent emptiness
@@ -265,6 +278,13 @@ func (g *generator) genMulti(modes []uint8, depth int) *task {
 			}
 		case 10: // consume a bounded number of values via Popper.PopInto
 			consume(actBindPopN)
+		case 11: // fold a fresh value into the reducer
+			if !red {
+				continue
+			}
+			td.acts = append(td.acts, action{kind: actReduceAdd, val: g.nextVal})
+			g.redOracle = append(g.redOracle, g.nextVal)
+			g.nextVal++
 		}
 	}
 	return td
@@ -288,14 +308,29 @@ func deps(modes []uint8, qs []*swan.Queue[int]) []swan.Dep {
 	return ds
 }
 
-// Execute runs the program on the real runtime with the given worker
-// count, segment capacity and scheduling substrate, returning what each
-// task actually consumed. The hyperqueue's runtime self-checking
-// assertions are enabled for the duration of the process (qcheck is a
-// verifier; an assertion failure surfaces as a panic out of Execute).
+// Outcome is everything a program execution produced: the per-task
+// consumption map and the reducer's final fold.
+type Outcome struct {
+	Consumed map[int][]int
+	Reduced  []int
+}
+
+// Execute runs the program and returns the per-task consumption map;
+// ExecuteFull additionally returns the reducer fold.
 func (p *Program) Execute(workers, segCap int, policy swan.SpawnPolicy) map[int][]int {
+	return p.ExecuteFull(workers, segCap, policy).Consumed
+}
+
+// ExecuteFull runs the program on the real runtime with the given worker
+// count, segment capacity and scheduling substrate, returning what each
+// task actually consumed and what the program's reducer folded. The
+// hyperqueue's runtime self-checking assertions are enabled for the
+// duration of the process (qcheck is a verifier; an assertion failure
+// surfaces as a panic out of ExecuteFull).
+func (p *Program) ExecuteFull(workers, segCap int, policy swan.SpawnPolicy) Outcome {
 	swan.SetQueueDebugChecks(true)
-	consumed := make(map[int][]int)
+	out := Outcome{Consumed: make(map[int][]int)}
+	consumed := out.Consumed
 	var mu sync.Mutex
 	swan.NewWithPolicy(workers, policy).Run(func(f *swan.Frame) {
 		qs := make([]*swan.Queue[int], p.Queues)
@@ -306,6 +341,10 @@ func (p *Program) Execute(workers, segCap int, policy swan.SpawnPolicy) map[int]
 			}
 			qs[i] = swan.NewQueueWithCapacity[int](f, segCap, opts...)
 		}
+		red := swan.NewReducer(f, swan.Monoid[[]int]{
+			Identity: func() []int { return nil },
+			Combine:  func(into *[]int, from []int) { *into = append(*into, from...) },
+		})
 		var exec func(f *swan.Frame, td *task)
 		exec = func(f *swan.Frame, td *task) {
 			for _, a := range td.acts {
@@ -315,10 +354,14 @@ func (p *Program) Execute(workers, segCap int, policy swan.SpawnPolicy) map[int]
 				case actSpawn, actCall:
 					child := a.child
 					body := func(c *swan.Frame) { exec(c, child) }
+					ds := deps(child.modes, qs)
+					if child.red {
+						ds = append(ds, swan.Reduce(red))
+					}
 					if a.kind == actCall {
-						f.Call(body, deps(child.modes, qs)...)
+						f.Call(body, ds...)
 					} else {
-						f.Spawn(body, deps(child.modes, qs)...)
+						f.Spawn(body, ds...)
 					}
 				case actPopN:
 					for j := 0; j < a.n; j++ {
@@ -406,21 +449,36 @@ func (p *Program) Execute(workers, segCap int, policy swan.SpawnPolicy) map[int]
 						mu.Unlock()
 						got += n
 					}
+				case actReduceAdd:
+					red.BindReduce(f).Add([]int{a.val})
 				case actSync:
 					f.Sync()
 				}
 			}
 		}
 		exec(f, p.root)
+		f.Sync()
+		out.Reduced = red.Value(f)
 	})
-	return consumed
+	return out
 }
 
-// Check executes the program and compares against the oracle. It
-// returns the consumed map and whether it matched.
+// Check executes the program and compares against the oracles (both the
+// per-task consumption map and the reducer fold). It returns the
+// consumed map and whether everything matched.
 func (p *Program) Check(workers, segCap int, policy swan.SpawnPolicy) (map[int][]int, bool) {
-	got := p.Execute(workers, segCap, policy)
-	return got, Equal(got, p.Oracle)
+	out, ok := p.CheckFull(workers, segCap, policy)
+	return out.Consumed, ok
+}
+
+// CheckFull executes the program and compares the full Outcome against
+// the oracles: every task's consumption must match the serial elision
+// and the reducer's fold must list the reduced values in serial program
+// order.
+func (p *Program) CheckFull(workers, segCap int, policy swan.SpawnPolicy) (Outcome, bool) {
+	out := p.ExecuteFull(workers, segCap, policy)
+	ok := Equal(out.Consumed, p.Oracle) && reflect.DeepEqual(out.Reduced, p.RedOracle)
+	return out, ok
 }
 
 // DefaultPolicy reports the scheduling substrate selected by the

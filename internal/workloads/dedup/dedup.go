@@ -151,16 +151,24 @@ func (s *Store) Intern(hash [32]byte) (id int64, dup bool) {
 	return id, false
 }
 
-// Deduplicate hashes the chunk and consults the store. rounds calibrates
-// the stage cost (see Options.DedupRounds); every round recomputes the
-// content hash, the last one is authoritative.
-func Deduplicate(c *Chunk, s *Store, rounds int) {
+// HashChunk computes the chunk's content hash. rounds calibrates the
+// stage cost (see Options.DedupRounds); every round recomputes the
+// hash, the last one is authoritative.
+func HashChunk(c *Chunk, rounds int) {
 	if rounds < 1 {
 		rounds = 1
 	}
 	for i := 0; i < rounds; i++ {
 		c.Hash = sha256.Sum256(c.Data)
 	}
+}
+
+// Deduplicate hashes the chunk and consults the store — the
+// arrival-ordered discipline of the pthreads, TBB and objects baselines.
+// The hyperqueue pipeline splits the stage into HashChunk plus a
+// deterministic hypermap probe instead (see RunHyperqueue).
+func Deduplicate(c *Chunk, s *Store, rounds int) {
+	HashChunk(c, rounds)
 	c.ID, c.Dup = s.Intern(c.Hash)
 }
 

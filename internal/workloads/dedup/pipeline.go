@@ -169,11 +169,23 @@ func RunObjects(rt *swan.Runtime, data []byte, o Options) Result {
 // growing with the input, and — together with the runtime-wide segment
 // pool — a long input stream reaches a steady state in which per-chunk
 // queue setup allocates nothing.
+//
+// Unlike the baselines, this version holds no arrival-ordered shared
+// Store: deduplication runs on two hypermaps, making the whole Result
+// bit-identical to RunSerial for every policy, schedule and worker
+// count. The "seen" hypermap lets the parallel dedup tasks skip
+// compressing chunks that are provable duplicates (Put's sound dup
+// report: a serially-earlier occurrence exists, so Output will emit a
+// duplicate record and never needs the payload; an unprovable duplicate
+// is merely compressed redundantly). The "index" hypermap belongs to
+// the serial Output task, which assigns chunk ids by interning content
+// hashes in stream order — exactly the serial elision's id assignment.
 func RunHyperqueue(rt *swan.Runtime, data []byte, o Options, segCap int) Result {
-	store := NewStore()
 	var res Result
 	rt.Run(func(f *swan.Frame) {
 		writeQ := swan.NewQueueWithCapacity[*Chunk](f, segCap)
+		seen := swan.NewHypermap[[32]byte, struct{}](f)
+		index := swan.NewHypermap[[32]byte, int64](f)
 		f.Spawn(func(frag *swan.Frame) { // Fragment
 			// Each coarse chunk gets a nested two-stage pipeline (Fig.
 			// 10(c)); coarseBatch pipelines are published per batched
@@ -223,26 +235,50 @@ func RunHyperqueue(rt *swan.Runtime, data []byte, o Options, segCap int) Result 
 						Body: func(c *swan.Frame) { // DeduplicateAndCompress (merged, §6.2)
 							pp := q.BindPop(c)
 							ww := writeQ.BindPush(c)
+							sm := seen.BindMap(c)
 							for !pp.Empty() {
 								ch := pp.Pop()
-								Deduplicate(ch, store, o.DedupRounds)
+								HashChunk(ch, o.DedupRounds)
+								// A true dup report is sound: a serially
+								// earlier occurrence of this hash exists, so
+								// Output will mark the chunk duplicate and
+								// the payload is never needed. Dup here only
+								// skips Compress — Output reassigns it.
+								if sm.Put(ch.Hash, struct{}{}) {
+									ch.Dup = true
+								}
 								Compress(ch)
 								ww.Push(ch)
 							}
 						},
-						Deps: []swan.Dep{swan.Pop(q), swan.Push(writeQ)},
+						Deps: []swan.Dep{swan.Pop(q), swan.Push(writeQ), swan.MapWrite(seen)},
 					})
 				}
 				coarses = coarses[n:]
 				frag.SpawnBatch(children)
 			}
-		}, swan.Push(writeQ))
+		}, swan.Push(writeQ), swan.MapWrite(seen))
 		f.Spawn(func(c *swan.Frame) { // Output
 			pp := writeQ.BindPop(c)
+			im := index.BindMap(c)
+			// Intern content hashes in stream (pop) order: the first
+			// occurrence of a hash gets the next id, later ones resolve
+			// to it. PutIfAbsent reads only this task's private view, so
+			// the assignment is the serial elision's, bit for bit.
+			var nextID int64
 			for !pp.Empty() {
-				res.Stream, res.Checksum = output(res.Stream, res.Checksum, pp.Pop(), o)
+				ch := pp.Pop()
+				id, loaded := im.PutIfAbsent(ch.Hash, nextID)
+				if !loaded {
+					nextID++
+					if ch.Compressed == nil {
+						panic("dedup: first-occurrence chunk arrived without a payload (unsound dup skip)")
+					}
+				}
+				ch.ID, ch.Dup = id, loaded
+				res.Stream, res.Checksum = output(res.Stream, res.Checksum, ch, o)
 			}
-		}, swan.Pop(writeQ))
+		}, swan.Pop(writeQ), swan.MapWrite(index))
 		f.Sync()
 		if writeQ.CanRecycle(f) {
 			writeQ.Recycle(f) // drained: segments back to the runtime pool

@@ -328,3 +328,51 @@ func ExampleServeMetrics() {
 	// true
 	// true
 }
+
+// ExampleReducer shows the deterministic parallel fold: writer tasks
+// spawned with Reduce get private views, Add never locks, and the
+// runtime merges views in serial program order — so an order-sensitive
+// monoid (list append) still produces the serial elision's result at
+// any worker count.
+func ExampleReducer() {
+	rt := swan.New(4)
+	rt.Run(func(f *swan.Frame) {
+		r := swan.NewReducer(f, swan.Monoid[[]int]{
+			Identity: func() []int { return nil },
+			Combine:  func(into *[]int, from []int) { *into = append(*into, from...) },
+		})
+		for i := 0; i < 5; i++ {
+			i := i
+			f.Spawn(func(c *swan.Frame) {
+				r.BindReduce(c).Add([]int{i})
+			}, swan.Reduce(r))
+		}
+		f.Sync()
+		fmt.Println(r.Value(f))
+	})
+	// Output:
+	// [0 1 2 3 4]
+}
+
+// ExampleHypermap shows the first-writer-wins keyed index: every writer
+// Puts into a private view and the serially-first writer of a key wins
+// deterministically, whatever order the tasks physically ran in. Put's
+// dup report may be used to skip duplicate-only work (it is sound but
+// conservative); the merged view read after Sync decides the output.
+func ExampleHypermap() {
+	rt := swan.New(4)
+	rt.Run(func(f *swan.Frame) {
+		m := swan.NewHypermap[string, int](f)
+		for i := 0; i < 4; i++ {
+			i := i
+			f.Spawn(func(c *swan.Frame) {
+				m.BindMap(c).Put("winner", i) // all race; task 0 is serially first
+			}, swan.MapWrite(m))
+		}
+		f.Sync()
+		v, _ := m.Get(f, "winner")
+		fmt.Println(v)
+	})
+	// Output:
+	// 0
+}

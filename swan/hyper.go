@@ -1,0 +1,79 @@
+package swan
+
+import (
+	"repro/internal/core"
+	"repro/internal/core/hyper"
+)
+
+// Hyperobjects: the view algebra the hyperqueue is built on
+// (internal/core/hyper), exposed as two more deterministic objects.
+// A Reducer folds per-task private views with a monoid in serial
+// program order (the Cilk++ reducer idea on the Swan substrate); a
+// Hypermap is a first-writer-wins keyed index with the same merge
+// discipline. Both are scale-free — nothing in a program using them
+// mentions the worker count — and after a Sync covering every writer
+// the owner observes exactly the serial elision's result.
+
+// Monoid is the fold a Reducer performs: an identity value and an
+// associative combine. Combine must be exactly associative for the fold
+// to be deterministic; see the core.Monoid documentation for the
+// floating-point caveat and the disjoint-slot escape hatch.
+type Monoid[T any] = core.Monoid[T]
+
+// Reducer is a deterministic parallel fold: tasks spawned with
+// Reduce(r) get private views, Add/Update mutate only those views (no
+// locks), and the runtime merges views in serial program order.
+type Reducer[T any] = core.Reducer[T]
+
+// ReduceHandle is a writer handle bound to one task body by
+// Reducer.BindReduce; like queue handles it must not outlive the body.
+type ReduceHandle[T any] = core.RedHandle[T]
+
+// Hypermap is a deterministic first-writer-wins keyed index: tasks
+// spawned with MapWrite(m) insert into private views, and for every key
+// the serially-first Put wins regardless of schedule. Put additionally
+// reports provable duplicates through a shared advisory index — sound
+// but conservative, for skipping duplicate-only work (never for
+// deciding program output).
+type Hypermap[K comparable, V any] = core.Hypermap[K, V]
+
+// MapHandle is a writer handle bound to one task body by
+// Hypermap.BindMap; like queue handles it must not outlive the body.
+type MapHandle[K comparable, V any] = core.MapHandle[K, V]
+
+// HyperobjectStats is one named hyperobject's counters as reported by
+// RuntimeStats: the number of views created and serial-order merges
+// performed. Objects sharing a name aggregate into one row.
+type HyperobjectStats = hyper.Stat
+
+// HyperOption configures a reducer or hypermap at construction.
+type HyperOption = core.HyperOption
+
+// HyperNamed registers the object in RuntimeStats (and hence the
+// metrics endpoint) under name. Unnamed objects are unmetered and can
+// be created and dropped freely.
+func HyperNamed(name string) HyperOption { return core.HyperNamed(name) }
+
+// NewReducer creates a reducer owned by the calling task's frame. The
+// owner holds a view and delegates write access by spawning children
+// with Reduce(r); after the owner syncs, Value returns the complete
+// fold.
+func NewReducer[T any](f *Frame, m Monoid[T], opts ...HyperOption) *Reducer[T] {
+	return core.NewReducer(f, m, opts...)
+}
+
+// Reduce grants the spawned task write access to r: a private view it
+// may Add to or Update through a bound handle.
+func Reduce[T any](r *Reducer[T]) Dep { return core.Reduce(r) }
+
+// NewHypermap creates a hypermap owned by the calling task's frame. The
+// owner holds a view and delegates write access by spawning children
+// with MapWrite(m); after the owner syncs, Get/Len observe the
+// deterministic first-writer merge of every writer's view.
+func NewHypermap[K comparable, V any](f *Frame, opts ...HyperOption) *Hypermap[K, V] {
+	return core.NewHypermap[K, V](f, opts...)
+}
+
+// MapWrite grants the spawned task write access to m: a private view it
+// may Put into through a bound handle.
+func MapWrite[K comparable, V any](m *Hypermap[K, V]) Dep { return core.MapWrite(m) }

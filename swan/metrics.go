@@ -24,45 +24,50 @@ type metricRow struct {
 	name, typ, help string
 	value           func(s RuntimeStats) float64
 	perQueue        func(q QueueStats) (float64, bool)
+	perHyper        func(h HyperobjectStats) float64
 }
 
 var metricRows = []metricRow{
 	{"swan_runtime_workers", "gauge", "Worker slots the runtime was built with.",
-		func(s RuntimeStats) float64 { return float64(s.Workers) }, nil},
+		func(s RuntimeStats) float64 { return float64(s.Workers) }, nil, nil},
 	{"swan_pool_segments", "gauge", "Segments currently cached across all segment pools.",
-		func(s RuntimeStats) float64 { return float64(s.PooledSegments) }, nil},
+		func(s RuntimeStats) float64 { return float64(s.PooledSegments) }, nil, nil},
 	{"swan_pool_segment_allocs_total", "counter", "Segments ever allocated fresh (pool misses).",
-		func(s RuntimeStats) float64 { return float64(s.SegmentAllocs) }, nil},
+		func(s RuntimeStats) float64 { return float64(s.SegmentAllocs) }, nil, nil},
 	{"swan_queues_recycled_total", "counter", "Completed Queue.Recycle resets.",
-		func(s RuntimeStats) float64 { return float64(s.RecycledQueues) }, nil},
+		func(s RuntimeStats) float64 { return float64(s.RecycledQueues) }, nil, nil},
 	{"swan_sched_spawns_total", "counter", "Tasks dispatched through the scheduler.",
-		func(s RuntimeStats) float64 { return float64(s.Spawns) }, nil},
+		func(s RuntimeStats) float64 { return float64(s.Spawns) }, nil, nil},
 	{"swan_sched_steals_total", "counter", "Successful work-stealing deque steals.",
-		func(s RuntimeStats) float64 { return float64(s.Steals) }, nil},
+		func(s RuntimeStats) float64 { return float64(s.Steals) }, nil, nil},
 	{"swan_sched_parks_total", "counter", "Worker sleeps for lack of ready work.",
-		func(s RuntimeStats) float64 { return float64(s.Parks) }, nil},
+		func(s RuntimeStats) float64 { return float64(s.Parks) }, nil, nil},
 	{"swan_sched_blocks_total", "counter", "Block regions entered (run token released).",
-		func(s RuntimeStats) float64 { return float64(s.Blocks) }, nil},
+		func(s RuntimeStats) float64 { return float64(s.Blocks) }, nil, nil},
 	{"swan_sched_blocked", "gauge", "Tasks currently inside a Block region.",
-		func(s RuntimeStats) float64 { return float64(s.Blocked) }, nil},
+		func(s RuntimeStats) float64 { return float64(s.Blocked) }, nil, nil},
 	{"swan_queue_bound", "gauge", "Element budget of the queue (0 = unbounded, metering only).",
-		nil, func(q QueueStats) (float64, bool) { return float64(q.Bound), true }},
+		nil, func(q QueueStats) (float64, bool) { return float64(q.Bound), true }, nil},
 	{"swan_queue_occupancy", "gauge", "Values currently buffered in the queue (pushed - popped).",
-		nil, func(q QueueStats) (float64, bool) { return float64(q.Occupancy), true }},
+		nil, func(q QueueStats) (float64, bool) { return float64(q.Occupancy), true }, nil},
 	{"swan_queue_high_water", "gauge", "Maximum occupancy ever observed on the queue.",
-		nil, func(q QueueStats) (float64, bool) { return float64(q.HighWater), true }},
+		nil, func(q QueueStats) (float64, bool) { return float64(q.HighWater), true }, nil},
 	{"swan_queue_pushed_total", "counter", "Values ever pushed into the queue.",
-		nil, func(q QueueStats) (float64, bool) { return float64(q.Pushed), true }},
+		nil, func(q QueueStats) (float64, bool) { return float64(q.Pushed), true }, nil},
 	{"swan_queue_popped_total", "counter", "Values ever popped from the queue.",
-		nil, func(q QueueStats) (float64, bool) { return float64(q.Popped), true }},
+		nil, func(q QueueStats) (float64, bool) { return float64(q.Popped), true }, nil},
 	{"swan_queue_producer_blocks_total", "counter", "Producer parks on an exhausted element budget.",
-		nil, func(q QueueStats) (float64, bool) { return float64(q.ProducerBlocks), true }},
+		nil, func(q QueueStats) (float64, bool) { return float64(q.ProducerBlocks), true }, nil},
 	{"swan_queue_producer_wakes_total", "counter", "Credit releases that found a parked producer.",
-		nil, func(q QueueStats) (float64, bool) { return float64(q.ProducerWakes), true }},
+		nil, func(q QueueStats) (float64, bool) { return float64(q.ProducerWakes), true }, nil},
 	{"swan_queue_consumer_blocks_total", "counter", "Consumer parks waiting for data.",
-		nil, func(q QueueStats) (float64, bool) { return float64(q.ConsumerBlocks), true }},
+		nil, func(q QueueStats) (float64, bool) { return float64(q.ConsumerBlocks), true }, nil},
 	{"swan_queue_consumer_wakes_total", "counter", "Pushes that found a parked consumer.",
-		nil, func(q QueueStats) (float64, bool) { return float64(q.ConsumerWakes), true }},
+		nil, func(q QueueStats) (float64, bool) { return float64(q.ConsumerWakes), true }, nil},
+	{"swan_hyperobject_views_total", "counter", "Views created on the hyperobject (owner + spawned writers).",
+		nil, nil, func(h HyperobjectStats) float64 { return float64(h.Views) }},
+	{"swan_hyperobject_merges_total", "counter", "Serial-order view merges performed by the hyperobject.",
+		nil, nil, func(h HyperobjectStats) float64 { return float64(h.Merges) }},
 }
 
 // escapeLabel escapes a label value per the Prometheus text format.
@@ -101,6 +106,18 @@ func writeMetricsSnap(w io.Writer, s RuntimeStats, labels ...[2]string) error {
 			}
 			continue
 		}
+		if row.perHyper != nil {
+			for _, h := range s.Hyperobjects {
+				lbl := fmt.Sprintf(`object=%q,kind=%q`, escapeLabel(h.Name), escapeLabel(h.Kind))
+				if base.Len() > 0 {
+					lbl = base.String() + "," + lbl
+				}
+				if _, err := fmt.Fprintf(w, "%s{%s} %g\n", row.name, lbl, row.perHyper(h)); err != nil {
+					return err
+				}
+			}
+			continue
+		}
 		for _, q := range s.Queues {
 			v, ok := row.perQueue(q)
 			if !ok {
@@ -136,6 +153,15 @@ func WriteMetricsMulti(w io.Writer, rts []*Runtime) error {
 			if row.value != nil {
 				if _, err := fmt.Fprintf(w, "%s{rt=\"%d\"} %g\n", row.name, i, row.value(s)); err != nil {
 					return err
+				}
+				continue
+			}
+			if row.perHyper != nil {
+				for _, h := range s.Hyperobjects {
+					if _, err := fmt.Fprintf(w, "%s{rt=\"%d\",object=%q,kind=%q} %g\n",
+						row.name, i, escapeLabel(h.Name), escapeLabel(h.Kind), row.perHyper(h)); err != nil {
+						return err
+					}
 				}
 				continue
 			}

@@ -106,3 +106,49 @@ func TestServeMetrics(t *testing.T) {
 		t.Errorf("expvar swan snapshot missing queue metrics.stage with %d pushes:\n%s", total, vars)
 	}
 }
+
+// TestHyperobjectMetrics pins the hyperobject metric family: a named
+// reducer and hypermap must appear in the Prometheus rendering with
+// object/kind labels and nonzero view counts.
+func TestHyperobjectMetrics(t *testing.T) {
+	rt := swan.New(2)
+	rt.Run(func(f *swan.Frame) {
+		r := swan.NewReducer(f, swan.Monoid[int]{
+			Identity: func() int { return 0 },
+			Combine:  func(into *int, from int) { *into += from },
+		}, swan.HyperNamed("metrics.sum"))
+		m := swan.NewHypermap[int, int](f, swan.HyperNamed("metrics.index"))
+		for i := 0; i < 8; i++ {
+			i := i
+			f.Spawn(func(c *swan.Frame) {
+				r.BindReduce(c).Add(i)
+				m.BindMap(c).Put(i%2, i)
+			}, swan.Reduce(r), swan.MapWrite(m))
+		}
+		f.Sync()
+		if got := r.Value(f); got != 28 {
+			t.Errorf("reducer value = %d, want 28", got)
+		}
+	})
+
+	var b strings.Builder
+	if err := swan.WriteMetrics(&b, rt); err != nil {
+		t.Fatalf("WriteMetrics: %v", err)
+	}
+	body := b.String()
+	for _, want := range []string{
+		"# TYPE swan_hyperobject_views_total counter",
+		"# TYPE swan_hyperobject_merges_total counter",
+		`swan_hyperobject_views_total{object="metrics.sum",kind="reducer"} 9`,
+		`swan_hyperobject_views_total{object="metrics.index",kind="hypermap"} 9`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+
+	s := swan.Stats(rt)
+	if len(s.Hyperobjects) != 2 {
+		t.Fatalf("RuntimeStats.Hyperobjects has %d rows, want 2", len(s.Hyperobjects))
+	}
+}

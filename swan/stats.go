@@ -26,6 +26,9 @@ type RuntimeStats struct {
 	Blocks         uint64       // Block regions entered (PolicySteal only)
 	Blocked        int          // tasks currently inside a Block region (PolicySteal only)
 	Queues         []QueueStats // metered queues, in creation order
+	// Hyperobjects holds the named reducers and hypermaps, aggregated
+	// by (name, kind) in order of first registration.
+	Hyperobjects []HyperobjectStats
 }
 
 // Stats reports a snapshot of rt's runtime-wide counters.
@@ -43,5 +46,6 @@ func Stats(rt *Runtime) RuntimeStats {
 		Blocks:         s.Blocks,
 		Blocked:        s.Blocked,
 		Queues:         prov.QueueStats(),
+		Hyperobjects:   prov.HyperStats(),
 	}
 }
