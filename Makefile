@@ -4,9 +4,9 @@ GO ?= go
 
 # bench-json knobs: which benchmarks make up the recorded perf set, how
 # long to run each, and where the JSON lands.
-BENCH_SET  ?= SteadyStateAllocs|QueueChurn|PrepareCompleteContention|BatchedSpawn|AblationSchedulerSubstrate|AblationSegmentSize|AblationQueueVsChannel|BoundVsUnbound|BoundedVsUnbounded|Reducer|HypermapVsLockedMap
+BENCH_SET  ?= SteadyStateAllocs|QueueChurn|PrepareCompleteContention|BatchedSpawn|AblationSchedulerSubstrate|AblationSegmentSize|AblationQueueVsChannel|AblationStealBatch|BoundVsUnbound|BoundedVsUnbounded|Reducer|HypermapVsLockedMap|Sharded
 BENCH_TIME ?= 300ms
-BENCH_OUT  ?= BENCH_pr7.json
+BENCH_OUT  ?= BENCH_pr8.json
 
 .PHONY: all build vet fmt-check test race bench-smoke bench-json quickcheck docs ci
 
@@ -54,6 +54,9 @@ quickcheck:
 	REPRO_SCHED=goroutine $(GO) run ./cmd/quickcheck -n 200
 	$(GO) run ./cmd/quickcheck -n 100 -queues 2
 	REPRO_SCHED=goroutine $(GO) run ./cmd/quickcheck -n 100 -queues 2
+	$(GO) run ./cmd/quickcheck -n 100 -sharded
+	REPRO_SCHED=goroutine $(GO) run ./cmd/quickcheck -n 100 -sharded
+	REPRO_STEAL_BATCH=1 $(GO) run ./cmd/quickcheck -n 100
 	$(GO) test -race -count=3 -run 'Regression' ./internal/core
 
 # Documentation is executable: the swan Example functions are the code

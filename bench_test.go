@@ -757,3 +757,114 @@ func BenchmarkHypermapVsLockedMap(b *testing.B) {
 		})
 	})
 }
+
+// --- Sharded pipelines (PR 8) --------------------------------------------
+
+// BenchmarkSharded prices the shard fan-out's per-element hot path:
+// route → per-shard bounded queue → shard worker → in-order merge. The
+// fan-out (queues, router, workers, merger) is built once per run and
+// amortizes across b.N elements, so steady state must be 0 allocs/op —
+// CI gates it. shards=1 vs shards=4 shows what the content-partitioned
+// fan-out costs (and buys) against a single pipeline.
+func BenchmarkSharded(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			rt := swan.New(runtime.NumCPU())
+			rt.Run(func(f *swan.Frame) {
+				s := swan.NewSharded(f, swan.ShardConfig{Shards: shards, Bound: 1024},
+					func(v uint64) uint64 { return v },
+					func(c *swan.Frame, shard int) func(uint64) uint64 {
+						return func(v uint64) uint64 { return v * 0x9e3779b97f4a7c15 }
+					})
+				b.ResetTimer()
+				f.Spawn(func(c *swan.Frame) {
+					p := s.In().BindPush(c)
+					for i := 0; i < b.N; i++ {
+						p.Push(uint64(i))
+					}
+				}, swan.Push(s.In()))
+				s.Launch(f)
+				f.Spawn(func(c *swan.Frame) {
+					p := s.Out().BindPop(c)
+					for !p.Empty() {
+						p.Pop()
+					}
+				}, swan.Pop(s.Out()))
+				f.Sync()
+				b.StopTimer()
+			})
+		})
+	}
+}
+
+// BenchmarkShardedLatency runs the open-loop latency harness at a fixed
+// offered rate and reports the completion-latency percentiles as custom
+// metrics, so BENCH_pr8.json carries the latency curve alongside the
+// throughput numbers.
+func BenchmarkShardedLatency(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			var r bench.LatencyReport
+			for i := 0; i < b.N; i++ {
+				r = bench.MeasureLatency(bench.LatencyConfig{
+					Workload: "streamstats",
+					Shards:   shards,
+					Workers:  runtime.NumCPU(),
+					Items:    20_000,
+					Rate:     200_000,
+				})
+			}
+			b.ReportMetric(float64(r.P50), "p50-ns")
+			b.ReportMetric(float64(r.P99), "p99-ns")
+			b.ReportMetric(float64(r.P999), "p999-ns")
+			b.ReportMetric(float64(r.TTFR), "ttfr-ns")
+		})
+	}
+}
+
+// --- Ablation: steal-half batch stealing ----------------------------------
+
+// BenchmarkAblationStealBatch compares classic single-task stealing
+// (cap=1, the pre-PR-8 scheduler) against steal-half batching (cap=8):
+// a flat fan-out of short leaf tasks from one producer deque, the shape
+// where per-task steal sweeps are pure overhead. steals/op counts
+// successful sweeps, stolen-tasks/op what they carried — batching must
+// move the same work in fewer sweeps.
+func BenchmarkAblationStealBatch(b *testing.B) {
+	workers := runtime.NumCPU()
+	if workers < 4 {
+		workers = 4
+	}
+	const leaves = 256
+	for _, cap := range []int{1, 8} {
+		b.Run(fmt.Sprintf("cap=%d", cap), func(b *testing.B) {
+			prev := sched.StealBatchCap()
+			sched.SetStealBatchCap(cap)
+			defer sched.SetStealBatchCap(prev)
+			rt := sched.New(workers) // freezes the cap into the pool
+			var sink uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rt.Run(func(f *sched.Frame) {
+					f.SpawnN(leaves, func(c *sched.Frame, j int) {
+						x := uint64(j) + 1
+						for k := 0; k < 4000; k++ {
+							x ^= x << 13
+							x ^= x >> 7
+							x ^= x << 17
+						}
+						if x == 0 {
+							sink++
+						}
+					})
+					f.Sync()
+				})
+			}
+			b.StopTimer()
+			s := rt.Stats()
+			b.ReportMetric(float64(s.Steals)/float64(b.N), "steals/op")
+			b.ReportMetric(float64(s.StolenTasks)/float64(b.N), "stolen-tasks/op")
+		})
+	}
+}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	paperbench [-exp all|table1|table2|fig8|fig11|bzip2] [-scale N] [-cores N] [-reps N] [-sched steal|goroutine] [-stats] [-metrics addr]
+//	paperbench [-exp all|table1|table2|fig8|fig11|bzip2|latency] [-scale N] [-cores N] [-reps N] [-sched steal|goroutine] [-stats] [-metrics addr]
 //
 // Scale 1 keeps each experiment in the seconds range; the paper-like
 // regime is -scale 4 or higher. -metrics serves a live Prometheus-text
@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, table1, table2, fig8, fig11, bzip2")
+	exp := flag.String("exp", "all", "experiment: all, table1, table2, fig8, fig11, bzip2, latency")
 	scale := flag.Int("scale", 1, "workload scale factor")
 	cores := flag.Int("cores", runtime.NumCPU(), "maximum cores to sweep")
 	reps := flag.Int("reps", 2, "repetitions per configuration (best-of)")
@@ -59,6 +59,8 @@ func main() {
 		case "bzip2":
 			t, _ := bench.Bzip2(cfg)
 			fmt.Println(t.Format())
+		case "latency":
+			fmt.Println(bench.Latency(cfg).Format())
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
 			os.Exit(2)
@@ -75,7 +77,7 @@ func main() {
 	}
 	fmt.Printf("# Hyperqueue reproduction — %d cores available, scale %d, scheduler %s\n\n", runtime.NumCPU(), *scale, sched.DefaultPolicy())
 	if *exp == "all" {
-		for _, e := range []string{"table1", "table2", "fig8", "fig11", "bzip2"} {
+		for _, e := range []string{"table1", "table2", "fig8", "fig11", "bzip2", "latency"} {
 			run(e)
 		}
 	} else {

@@ -43,6 +43,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "base seed")
 	workers := flag.Int("workers", 0, "worker count to test (0 = sweep 1, 2 and NumCPU)")
 	queues := flag.Int("queues", 1, "hyperqueues per program (1 = original frozen generator, >1 = multi-queue generator with Sync/Call/TryPop/ReadSlice actions)")
+	sharded := flag.Bool("sharded", false, "check random swan.Sharded fan-outs (random geometry, tiny bounds) against the serial elision instead of task-tree programs")
 	verbose := flag.Bool("v", false, "log each program")
 	flag.Parse()
 
@@ -53,6 +54,33 @@ func main() {
 	workerSet = dedup(workerSet)
 	segSet := []int{1, 7, 256}
 	policy := qcheck.DefaultPolicy()
+
+	if *sharded {
+		failed := 0
+		for i := 0; i < *n; i++ {
+			p := qcheck.GenerateSharded(*seed + uint64(i))
+			var badConfigs []string
+			for _, w := range workerSet {
+				if !p.Check(w, policy) {
+					badConfigs = append(badConfigs, fmt.Sprintf("workers=%d", w))
+				}
+			}
+			if len(badConfigs) > 0 {
+				failed++
+				fmt.Printf("FAIL sharded seed=%d values=%d shards=%d bound=%d segcap=%d (%s)\n",
+					p.Seed, p.Values, p.Shards, p.Bound, p.SegCap, strings.Join(badConfigs, ", "))
+			} else if *verbose {
+				fmt.Printf("sharded %3d: %d values, %d shards, bound %d — ok\n", i, p.Values, p.Shards, p.Bound)
+			}
+		}
+		if failed > 0 {
+			fmt.Printf("%d of %d sharded programs FAILED (sched=%s)\n", failed, *n, policy)
+			os.Exit(1)
+		}
+		fmt.Printf("quickcheck: %d random sharded fan-outs × %d workers (sched=%s) — all match the serial elision ✓\n",
+			*n, len(workerSet), policy)
+		return
+	}
 
 	failedPrograms := 0
 	for i := 0; i < *n; i++ {

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sched"
+)
+
+// Sharded is a deterministic pipeline-of-pipelines: the hyperqueue is
+// single-consumer by design (the pop privilege serializes along program
+// order, §2.3), so a pipeline scales past one consumer by *partitioning*
+// the stream over N per-shard hyperqueues — never by splitting a
+// consumer role. A router task pops the ingress queue and fans each
+// value out by a caller-supplied content-based partition function
+// (reduced mod N); one worker task per shard consumes its own queue; and
+// a merger task folds the per-shard results back into serial program
+// order by replaying the router's routing decisions from a side queue of
+// shard indices. Every queue involved keeps exactly one consumer, so the
+// whole construction inherits the determinism argument of the single
+// pipeline: the egress stream is byte-identical for any worker count,
+// shard count, and scheduler policy.
+//
+// Flow control is per shard: the shard input and result queues are
+// bounded (credit-based backpressure, flow.go), so one slow shard blocks
+// only its own router pushes once its bound fills — siblings keep
+// draining up to their own bounds, and total in-flight data is capped at
+// roughly N×2×Bound values. The router and merger loops run entirely on
+// bound handles and are allocation-free in steady state.
+//
+// Program-order discipline (visibility, §2.3 rule 4): producers into
+// In() must be spawned before Launch, and the consumer of Out() must be
+// spawned after Launch, so that router → shard workers → merger →
+// egress consumer is a program-order chain and each stage's values are
+// visible to the next.
+type Sharded[I, O any] struct {
+	cfg   ShardConfig
+	owner *sched.Frame
+	part  func(I) uint64
+	work  func(f *sched.Frame, shard int) func(I) O
+	deps  []sched.Dep
+
+	in    *Queue[I]
+	out   *Queue[O]
+	route *Queue[int32] // router's shard decisions, in arrival order
+	inQ   []*Queue[I]   // per-shard input (bounded)
+	resQ  []*Queue[O]   // per-shard results (bounded)
+
+	launched bool
+}
+
+// DefaultShardBound is the per-shard queue bound used when ShardConfig
+// leaves Bound zero: deep enough to decouple shards across scheduling
+// hiccups, shallow enough that a stalled shard pins at most a few
+// segments per queue.
+const DefaultShardBound = 1024
+
+// ShardConfig configures NewSharded.
+type ShardConfig struct {
+	// Shards is the number of partitions N (minimum 1).
+	Shards int
+	// Bound caps each per-shard input and result queue (default
+	// DefaultShardBound). It is the isolation budget: a blocked shard
+	// holds at most 2×Bound values plus one in each stalled task's hand.
+	Bound int
+	// SegCap overrides the hyperqueue segment capacity (0 = default).
+	SegCap int
+	// Name, when non-empty, meters every queue of the fan-out under
+	// "<Name>.in", "<Name>.route", "<Name>.shard<i>.in",
+	// "<Name>.shard<i>.out" and "<Name>.out" in the queue stats registry,
+	// exposing per-shard occupancy and block/wake counters.
+	Name string
+}
+
+func (c *ShardConfig) normalize() {
+	if c.Shards < 1 {
+		c.Shards = 1
+	}
+	if c.Bound <= 0 {
+		c.Bound = DefaultShardBound
+	}
+}
+
+// NewSharded creates the shard fan-out on the calling task's frame f:
+// the ingress queue (In), N bounded per-shard pipelines, and the egress
+// queue (Out). part maps a value to a partition key (reduced mod N —
+// values with equal keys are processed by the same shard, in arrival
+// order). work builds one shard's transform: it is called once per shard
+// inside that shard's consumer task and may bind per-task state
+// (reducer handles, local tables); the returned function is then applied
+// to every value routed to the shard. workerDeps are granted to every
+// shard worker task in addition to its queue privileges (hyperobject
+// access, typically).
+//
+// Call order matters (see the type comment): spawn producers into In(),
+// then Launch(f), then spawn the consumer of Out().
+func NewSharded[I, O any](
+	f *sched.Frame,
+	cfg ShardConfig,
+	part func(I) uint64,
+	work func(f *sched.Frame, shard int) func(I) O,
+	workerDeps ...sched.Dep,
+) *Sharded[I, O] {
+	cfg.normalize()
+	s := &Sharded[I, O]{cfg: cfg, owner: f, part: part, work: work, deps: workerDeps}
+	name := func(format string, args ...any) []QueueOption {
+		if cfg.Name == "" {
+			return nil
+		}
+		return []QueueOption{Named(cfg.Name + fmt.Sprintf(format, args...))}
+	}
+	newQ := func(opts []QueueOption) *Queue[I] {
+		if cfg.SegCap > 0 {
+			return NewWithCapacity[I](f, cfg.SegCap, opts...)
+		}
+		return New[I](f, opts...)
+	}
+	newR := func(opts []QueueOption) *Queue[O] {
+		if cfg.SegCap > 0 {
+			return NewWithCapacity[O](f, cfg.SegCap, opts...)
+		}
+		return New[O](f, opts...)
+	}
+	s.in = newQ(name(".in"))
+	s.out = newR(name(".out"))
+	s.route = New[int32](f, name(".route")...)
+	s.inQ = make([]*Queue[I], cfg.Shards)
+	s.resQ = make([]*Queue[O], cfg.Shards)
+	for i := range s.inQ {
+		s.inQ[i] = newQ(append(name(".shard%d.in", i), Bounded(cfg.Bound)))
+		s.resQ[i] = newR(append(name(".shard%d.out", i), Bounded(cfg.Bound)))
+	}
+	return s
+}
+
+// In returns the ingress queue. Spawn producers on it (with Push
+// privilege) before calling Launch.
+func (s *Sharded[I, O]) In() *Queue[I] { return s.in }
+
+// Out returns the egress queue: results in ingress arrival order. Spawn
+// its consumer (with Pop privilege) after calling Launch.
+func (s *Sharded[I, O]) Out() *Queue[O] { return s.out }
+
+// Shards reports the partition count N.
+func (s *Sharded[I, O]) Shards() int { return s.cfg.Shards }
+
+// Launch spawns the fan-out tasks — router, one worker per shard, merger
+// — on the owning frame, in that (program) order. It must be called
+// exactly once, from the task body that created the Sharded, after the
+// In-side producers were spawned.
+func (s *Sharded[I, O]) Launch(f *sched.Frame) {
+	if f != s.owner {
+		panic("swan: Sharded.Launch must be called on the frame that created it")
+	}
+	if s.launched {
+		panic("swan: Sharded.Launch called twice")
+	}
+	s.launched = true
+	n := s.cfg.Shards
+
+	// Router: pop the ingress stream in serial order, append each value
+	// to its shard's queue and the shard index to the route queue. The
+	// route queue is the merge schedule: it records arrival order once,
+	// so the merger needs no timestamps or sequence numbers.
+	routerDeps := make([]sched.Dep, 0, n+2)
+	routerDeps = append(routerDeps, Pop(s.in), Push(s.route))
+	for i := range s.inQ {
+		routerDeps = append(routerDeps, Push(s.inQ[i]))
+	}
+	f.Spawn(func(c *sched.Frame) {
+		in := s.in.BindPop(c)
+		rt := s.route.BindPush(c)
+		pushers := make([]Pusher[I], n)
+		for i := range pushers {
+			pushers[i] = s.inQ[i].BindPush(c)
+		}
+		mod := uint64(n)
+		for !in.Empty() {
+			v := in.Pop()
+			sh := int32(s.part(v) % mod)
+			pushers[sh].Push(v)
+			rt.Push(sh)
+		}
+	}, routerDeps...)
+
+	// Shard workers: each consumes its own queue in routed order and
+	// emits one result per value. The worker factory runs inside the
+	// task body so it can bind per-task state (reducer handles, local
+	// tables) before the steady-state loop.
+	for i := range s.inQ {
+		shard := i
+		deps := make([]sched.Dep, 0, len(s.deps)+2)
+		deps = append(deps, Pop(s.inQ[shard]), Push(s.resQ[shard]))
+		deps = append(deps, s.deps...)
+		f.Spawn(func(c *sched.Frame) {
+			fn := s.work(c, shard)
+			in := s.inQ[shard].BindPop(c)
+			out := s.resQ[shard].BindPush(c)
+			for !in.Empty() {
+				out.Push(fn(in.Pop()))
+			}
+		}, deps...)
+	}
+
+	// Merger: replay the routing decisions, popping each shard's next
+	// result in arrival order. Every route entry is matched by exactly
+	// one eventual result on that shard (workers are 1-in-1-out), so Pop
+	// blocks only transiently, never on a permanently empty queue.
+	mergerDeps := make([]sched.Dep, 0, n+2)
+	mergerDeps = append(mergerDeps, Pop(s.route), Push(s.out))
+	for i := range s.resQ {
+		mergerDeps = append(mergerDeps, Pop(s.resQ[i]))
+	}
+	f.Spawn(func(c *sched.Frame) {
+		rt := s.route.BindPop(c)
+		out := s.out.BindPush(c)
+		poppers := make([]Popper[O], n)
+		for i := range poppers {
+			poppers[i] = s.resQ[i].BindPop(c)
+		}
+		for !rt.Empty() {
+			sh := rt.Pop()
+			out.Push(poppers[sh].Pop())
+		}
+	}, mergerDeps...)
+}

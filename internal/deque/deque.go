@@ -148,6 +148,47 @@ func (d *D[T]) Steal() (v T, ok bool) {
 	return *p, true
 }
 
+// StealBatch steals up to half of the victim's visible run (and at most
+// len(buf) values) from the top, oldest first, returning how many values
+// were written into buf. Any goroutine may call StealBatch. A return of 0
+// means the deque looked empty or the first claim lost a race.
+//
+// The batch is claimed one CAS per element, not one CAS for the whole
+// range: the owner's Pop takes elements at the bottom *without* touching
+// top whenever more than one element remains, so a thief that read
+// [t, t+k) and then advanced top by k in a single CAS could claim slots
+// the owner concurrently popped, double-executing them. Per-element CAS
+// keeps every claim identical to the proven single Steal linearization;
+// the batch win is fewer victim scans and park/wake cycles per stolen
+// task, plus a run of local work for the thief — not fewer CASes.
+func (d *D[T]) StealBatch(buf []T) int {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	n := b - t
+	if n <= 0 {
+		return 0
+	}
+	want := (n + 1) / 2
+	if want > int64(len(buf)) {
+		want = int64(len(buf))
+	}
+	got := 0
+	for int64(got) < want {
+		t = d.top.Load()
+		if t >= d.bottom.Load() {
+			break
+		}
+		a := d.array.Load()
+		p := a.get(t)
+		if !d.top.CompareAndSwap(t, t+1) {
+			break // lost a race; keep what we have
+		}
+		buf[got] = *p
+		got++
+	}
+	return got
+}
+
 // Len reports an instantaneous size estimate. It is exact when called by
 // the owner with no concurrent steals, and approximate otherwise.
 func (d *D[T]) Len() int {

@@ -281,6 +281,125 @@ func TestPopStealSingleElementRace(t *testing.T) {
 	}
 }
 
+func TestStealBatchTakesHalfOldestFirst(t *testing.T) {
+	d := New[int](8)
+	for i := 0; i < 10; i++ {
+		d.Push(i)
+	}
+	buf := make([]int, 16)
+	// Half of 10 rounded up is 5, oldest first.
+	if got := d.StealBatch(buf); got != 5 {
+		t.Fatalf("StealBatch = %d, want 5", got)
+	}
+	for i := 0; i < 5; i++ {
+		if buf[i] != i {
+			t.Fatalf("buf[%d] = %d, want %d", i, buf[i], i)
+		}
+	}
+	// The remainder keeps its order for the owner.
+	for i := 9; i >= 5; i-- {
+		if v, ok := d.Pop(); !ok || v != i {
+			t.Fatalf("Pop = %d,%v; want %d,true", v, ok, i)
+		}
+	}
+	// A short buffer caps the batch; an empty deque yields zero.
+	d.Push(1)
+	d.Push(2)
+	d.Push(3)
+	if got := d.StealBatch(buf[:1]); got != 1 || buf[0] != 1 {
+		t.Fatalf("StealBatch(short buf) = %d (buf[0]=%d), want 1 (1)", got, buf[0])
+	}
+	d.Pop()
+	d.Pop()
+	if got := d.StealBatch(buf); got != 0 {
+		t.Fatalf("StealBatch on empty = %d, want 0", got)
+	}
+	// A single element is still taken ((1+1)/2 = 1).
+	d.Push(7)
+	if got := d.StealBatch(buf); got != 1 || buf[0] != 7 {
+		t.Fatalf("StealBatch(single) = %d (buf[0]=%d), want 1 (7)", got, buf[0])
+	}
+}
+
+// TestStealBatchConcurrentNoLossNoDup races an owner (pushing and
+// popping) against batch-stealing thieves: every value must be consumed
+// exactly once. This is the double-take hazard StealBatch's per-element
+// CAS exists to prevent.
+func TestStealBatchConcurrentNoLossNoDup(t *testing.T) {
+	const n = 100000
+	const thieves = 4
+	d := New[int](8)
+	var seen [n]atomic.Int32
+	var consumed atomic.Int64
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < thieves; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]int, 8)
+			drain := func() bool {
+				k := d.StealBatch(buf)
+				for j := 0; j < k; j++ {
+					seen[buf[j]].Add(1)
+					consumed.Add(1)
+				}
+				return k > 0
+			}
+			for {
+				if drain() {
+					continue
+				}
+				select {
+				case <-stop:
+					for drain() {
+					}
+					return
+				default:
+				}
+			}
+		}()
+	}
+
+	for i := 0; i < n; i++ {
+		d.Push(i)
+		if i%3 == 0 {
+			if v, ok := d.Pop(); ok {
+				seen[v].Add(1)
+				consumed.Add(1)
+			}
+		}
+	}
+	for {
+		v, ok := d.Pop()
+		if !ok {
+			break
+		}
+		seen[v].Add(1)
+		consumed.Add(1)
+	}
+	close(stop)
+	wg.Wait()
+	for {
+		v, ok := d.Steal()
+		if !ok {
+			break
+		}
+		seen[v].Add(1)
+		consumed.Add(1)
+	}
+
+	if got := consumed.Load(); got != n {
+		t.Fatalf("consumed %d values, want %d", got, n)
+	}
+	for i := 0; i < n; i++ {
+		if c := seen[i].Load(); c != 1 {
+			t.Fatalf("value %d consumed %d times", i, c)
+		}
+	}
+}
+
 func BenchmarkPushPop(b *testing.B) {
 	d := New[int](1024)
 	for i := 0; i < b.N; i++ {

@@ -1,0 +1,91 @@
+package qcheck
+
+import "repro/swan"
+
+// ShardedProgram is a randomized check for the swan.Sharded fan-out:
+// a pseudo-random value stream, a seed-derived content partition and a
+// seed-derived transform, executed through the fan-out and compared
+// element-for-element against the serial elision (the transform applied
+// in arrival order). The geometry (shard count, queue bound, segment
+// capacity) is drawn from the seed too, biased toward the deadlock-prone
+// corners: tiny bounds, more shards than workers, single-element
+// streams.
+type ShardedProgram struct {
+	Seed   uint64
+	Values int
+	Shards int
+	Bound  int
+	SegCap int
+
+	vals []uint64
+	mult uint64
+}
+
+func shardedMix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// GenerateSharded derives a sharded program from seed.
+func GenerateSharded(seed uint64) *ShardedProgram {
+	r := seed
+	next := func() uint64 { r = shardedMix(r); return r }
+	p := &ShardedProgram{Seed: seed}
+	switch next() % 4 {
+	case 0:
+		p.Values = int(next() % 4) // empty and near-empty streams
+	case 1:
+		p.Values = 1 + int(next()%64)
+	default:
+		p.Values = 256 + int(next()%4096)
+	}
+	p.Shards = 1 + int(next()%8)
+	p.Bound = []int{1, 2, 7, 64, 1024}[next()%5]
+	p.SegCap = []int{1, 8, 256}[next()%3]
+	p.mult = next() | 1 // odd multiplier: a bijective transform
+	p.vals = make([]uint64, p.Values)
+	for i := range p.vals {
+		p.vals[i] = next()
+	}
+	return p
+}
+
+func (p *ShardedProgram) transform(v uint64) uint64 { return shardedMix(v * p.mult) }
+
+// Check runs the program on the real runtime and reports whether the
+// egress stream matches the serial elision.
+func (p *ShardedProgram) Check(workers int, policy swan.SpawnPolicy) bool {
+	got := make([]uint64, 0, p.Values)
+	rt := swan.NewWithPolicy(workers, policy)
+	rt.Run(func(f *swan.Frame) {
+		s := swan.NewSharded(f,
+			swan.ShardConfig{Shards: p.Shards, Bound: p.Bound, SegCap: p.SegCap},
+			func(v uint64) uint64 { return v },
+			func(c *swan.Frame, shard int) func(uint64) uint64 {
+				return p.transform
+			})
+		f.Spawn(func(c *swan.Frame) {
+			w := s.In().BindPush(c)
+			w.PushSlice(p.vals)
+		}, swan.Push(s.In()))
+		s.Launch(f)
+		f.Spawn(func(c *swan.Frame) {
+			r := s.Out().BindPop(c)
+			for !r.Empty() {
+				got = append(got, r.Pop())
+			}
+		}, swan.Pop(s.Out()))
+		f.Sync()
+	})
+	if len(got) != len(p.vals) {
+		return false
+	}
+	for i, v := range p.vals {
+		if got[i] != p.transform(v) {
+			return false
+		}
+	}
+	return true
+}

@@ -45,6 +45,7 @@ package sched
 import (
 	"fmt"
 	"os"
+	"strconv"
 	"sync"
 	"sync/atomic"
 )
@@ -90,6 +91,50 @@ func SetDefaultPolicy(p SpawnPolicy) { defaultPolicy.Store(int32(p)) }
 
 // DefaultPolicy reports the substrate New gives future runtimes.
 func DefaultPolicy() SpawnPolicy { return SpawnPolicy(defaultPolicy.Load()) }
+
+// stealBatchMax bounds how many tasks one steal sweep may take (and sizes
+// the per-worker steal buffer). Steal-half amortizes the victim scan over
+// a run of tasks, but an unbounded grab would let one thief hoard a long
+// run while siblings idle; 8 keeps the hoard no larger than one deque
+// refill.
+const stealBatchMax = 8
+
+// defaultStealBatch is the steal batch cap New gives future runtimes:
+// a thief takes up to min(cap, half the victim's visible run) tasks per
+// steal. Cap 1 is exactly the classic single-task Chase–Lev steal and is
+// kept as the ablation comparison mode (REPRO_STEAL_BATCH=1).
+var defaultStealBatch atomic.Int32
+
+func init() {
+	defaultStealBatch.Store(stealBatchMax)
+	if v := os.Getenv("REPRO_STEAL_BATCH"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			// A typo would silently corrupt ablation results; be loud.
+			fmt.Fprintf(os.Stderr, "sched: ignoring invalid REPRO_STEAL_BATCH=%q (want integer >= 1); using %d\n", v, stealBatchMax)
+			return
+		}
+		if n > stealBatchMax {
+			n = stealBatchMax
+		}
+		defaultStealBatch.Store(int32(n))
+	}
+}
+
+// SetStealBatchCap sets the steal batch cap New gives future runtimes
+// (clamped to [1, 8]). It does not affect runtimes already built.
+func SetStealBatchCap(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n > stealBatchMax {
+		n = stealBatchMax
+	}
+	defaultStealBatch.Store(int32(n))
+}
+
+// StealBatchCap reports the steal batch cap New gives future runtimes.
+func StealBatchCap() int { return int(defaultStealBatch.Load()) }
 
 // Runtime is a task scheduler with a fixed number of workers. The number
 // of workers plays the role of the number of cores in the paper's
@@ -541,11 +586,20 @@ func (rt *Runtime) runTaskGoroutine(t *task) {
 
 // helpLocal is the help-first counterpart of Cilk's work-first sync: a
 // frame about to wait runs tasks popped LIFO from its own worker's deque
-// until quit reports the wait is satisfied or the deque drains. Every
-// task in the local deque was spawned by a frame on this goroutine's
-// execution stack, so running it inline preserves strictness: it can
-// only depend on work that is completed, stealable, or released through
-// its own Block compensation — never on the buried frames above it.
+// until quit reports the wait is satisfied, the deque drains, or the pop
+// surfaces a task that is not a descendant of f.
+//
+// The descendant guard preserves strictness: a descendant of f can only
+// wait on work that is completed, stealable, or released through its own
+// Block compensation — never on the buried frames above it (anything a
+// task waits for is strictly earlier in program order, and f's ancestors
+// are not). Without the guard, batch stealing breaks this: StealBatch
+// lands sibling tasks from a victim's run in our deque, and inline-running
+// a program-*later* sibling (say a consumer) beneath a program-earlier one
+// (its producer, buried above us mid-Sync) deadlocks — the consumer waits
+// forever for values only the buried continuation can push. A refused task
+// is pushed back (same deque position) and stays stealable; we fall
+// through to the Block path instead.
 func (f *Frame) helpLocal(quit func() bool) {
 	w := f.worker
 	if w == nil || f.inBlock {
@@ -554,6 +608,10 @@ func (f *Frame) helpLocal(quit func() bool) {
 	for !quit() {
 		t, ok := w.dq.Pop()
 		if !ok {
+			return
+		}
+		if !f.IsAncestorOf(t.frame) {
+			w.dq.Push(t)
 			return
 		}
 		f.rt.pool.runTask(w, t)

@@ -149,6 +149,68 @@ func TestWideFanoutStress(t *testing.T) {
 	}
 }
 
+// TestStealBatchModes runs the determinism tree and the buried-work
+// pattern under both steal modes: steal-half (the default) and the
+// single-steal comparison mode. Results must be identical, and under
+// batching a sweep must be able to take more than one task.
+func TestStealBatchModes(t *testing.T) {
+	orig := StealBatchCap()
+	defer SetStealBatchCap(orig)
+	depth, branch := 6, 3
+	var want uint64
+	for i, cap := range []int{1, stealBatchMax} {
+		SetStealBatchCap(cap)
+		rt := NewWithPolicy(runtime.NumCPU(), PolicySteal)
+		var got uint64
+		rt.Run(func(f *Frame) {
+			got = treeHash(f, depth, branch, 7)
+		})
+		if i == 0 {
+			want = got
+		} else if got != want {
+			t.Fatalf("stealCap=%d: hash %#x, want %#x (stealCap=1)", cap, got, want)
+		}
+		s := rt.Stats()
+		if s.StolenTasks < s.Steals {
+			t.Fatalf("stealCap=%d: StolenTasks=%d < Steals=%d", cap, s.StolenTasks, s.Steals)
+		}
+		if cap == 1 && s.StolenTasks != s.Steals {
+			t.Fatalf("stealCap=1: StolenTasks=%d != Steals=%d", s.StolenTasks, s.Steals)
+		}
+	}
+}
+
+// TestStealBatchExtractsBuriedRun is TestStealsExtractBuriedWork with a
+// wide run: a buried owner's whole backlog must drain through batch
+// steals, and the extras parked in a thief's deque must not be lost.
+func TestStealBatchExtractsBuriedRun(t *testing.T) {
+	orig := StealBatchCap()
+	defer SetStealBatchCap(orig)
+	SetStealBatchCap(stealBatchMax)
+	rt := NewWithPolicy(2, PolicySteal)
+	const total = 64
+	var n atomic.Int64
+	ch := make(chan struct{})
+	rt.Run(func(f *Frame) {
+		// One atomic publication of the whole run: the first sweep over
+		// the buried owner's deque must see a multi-task backlog.
+		f.SpawnN(total, func(*Frame, int) {
+			if n.Add(1) == total {
+				close(ch)
+			}
+		})
+		f.Block(func() { <-ch })
+		f.Sync()
+	})
+	if n.Load() != total {
+		t.Fatalf("ran %d children, want %d", n.Load(), total)
+	}
+	s := rt.Stats()
+	if s.StolenTasks <= s.Steals {
+		t.Fatalf("no multi-task sweep happened: StolenTasks=%d Steals=%d", s.StolenTasks, s.Steals)
+	}
+}
+
 // workersAlive reports the number of live worker goroutines (test hook).
 func (rt *Runtime) workersAlive() int {
 	rt.pool.mu.Lock()

@@ -39,7 +39,8 @@ func (t *task) finish() {
 // goroutine substrate reports zeros).
 type Stats struct {
 	Spawns         uint64 // tasks pushed onto deques
-	Steals         uint64 // successful FIFO steals from a victim deque
+	Steals         uint64 // successful steal sweeps from a victim deque
+	StolenTasks    uint64 // tasks taken by those sweeps (>= Steals with batching)
 	Parks          uint64 // times a worker went to sleep for lack of work
 	Blocks         uint64 // Block regions entered (capacity released)
 	WorkersStarted uint64 // worker goroutines ever started
@@ -58,6 +59,7 @@ func (rt *Runtime) Stats() Stats {
 	return Stats{
 		Spawns:         p.stats.Spawns.Load(),
 		Steals:         p.stats.Steals.Load(),
+		StolenTasks:    p.stats.StolenTasks.Load(),
 		Parks:          p.stats.Parks.Load(),
 		Blocks:         p.stats.Blocks.Load(),
 		WorkersStarted: p.stats.WorkersStarted.Load(),
@@ -68,6 +70,7 @@ func (rt *Runtime) Stats() Stats {
 type statCounters struct {
 	Spawns         atomic.Uint64
 	Steals         atomic.Uint64
+	StolenTasks    atomic.Uint64
 	Parks          atomic.Uint64
 	Blocks         atomic.Uint64
 	WorkersStarted atomic.Uint64
@@ -101,11 +104,17 @@ type pool struct {
 	victims atomic.Pointer[[]*worker]
 	seed    atomic.Uint64
 	stats   statCounters
+
+	// stealCap is the per-sweep steal batch cap (steal-half up to this
+	// many tasks), frozen at runtime construction from the package
+	// default so a running pool never mixes modes.
+	stealCap int
 }
 
 func (p *pool) init(rt *Runtime) {
 	p.rt = rt
 	p.cond = sync.NewCond(&p.mu)
+	p.stealCap = StealBatchCap()
 	v := []*worker{}
 	p.victims.Store(&v)
 }
@@ -286,6 +295,11 @@ type worker struct {
 	id  int
 	dq  *deque.D[*task]
 	rnd uint64
+
+	// sbuf receives steal-half batches; entries are moved to the local
+	// deque (or returned) and cleared immediately, so it retains nothing
+	// between sweeps.
+	sbuf [stealBatchMax]*task
 }
 
 func (w *worker) rand() uint64 {
@@ -298,7 +312,12 @@ func (w *worker) rand() uint64 {
 }
 
 // find returns the next task: local LIFO pop, then the global injection
-// queue, then one randomized FIFO steal sweep over the victim deques.
+// queue, then one randomized steal sweep over the victim deques. A sweep
+// takes up to half the first non-empty victim's run (capped at the pool's
+// stealCap): the first task runs now and the rest go into our own deque,
+// where they stay visible to other thieves and to park's work check. The
+// extras are run only from the top level of the worker loop or re-stolen
+// — helpLocal's descendant guard keeps them from being buried mid-Sync.
 func (w *worker) find() *task {
 	if t, ok := w.dq.Pop(); ok {
 		return t
@@ -317,8 +336,25 @@ func (w *worker) find() *task {
 		if v == w {
 			continue
 		}
-		if t, ok := v.dq.Steal(); ok {
+		if w.p.stealCap <= 1 {
+			// Ablation comparison mode: classic single-task steal.
+			if t, ok := v.dq.Steal(); ok {
+				w.p.stats.Steals.Add(1)
+				w.p.stats.StolenTasks.Add(1)
+				return t
+			}
+			continue
+		}
+		if k := v.dq.StealBatch(w.sbuf[:w.p.stealCap]); k > 0 {
 			w.p.stats.Steals.Add(1)
+			w.p.stats.StolenTasks.Add(uint64(k))
+			t := w.sbuf[0]
+			if k > 1 {
+				w.dq.PushBatch(w.sbuf[1:k])
+			}
+			for j := 0; j < k; j++ {
+				w.sbuf[j] = nil
+			}
 			return t
 		}
 	}

@@ -16,7 +16,10 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"errors"
+	"fmt"
 	"io"
+	"os"
+	"strconv"
 	"sync"
 )
 
@@ -25,6 +28,13 @@ type Options struct {
 	CoarseAvg int // average coarse-chunk size (power of two), Fragment stage
 	FineAvg   int // average fine-chunk size (power of two), FragmentRefine stage
 	MaxFactor int // maximum chunk size = avg * MaxFactor
+
+	// CoarseBatch is how many coarse chunks RunHyperqueue publishes per
+	// batched spawn (each contributes a two-task nested pipeline).
+	// Zero means the default (4). DefaultOptions also honours the
+	// REPRO_COARSE_BATCH environment variable, so ablations can sweep
+	// the batch size without recompiling.
+	CoarseBatch int
 
 	// DedupRounds and OutputRounds calibrate the Deduplicate and Output
 	// stage costs to the paper's Table 2 proportions (7.9% and 8.2%).
@@ -41,10 +51,18 @@ type Options struct {
 // DefaultOptions mirrors the proportions of PARSEC's configuration
 // scaled to benchmark-friendly sizes, calibrated against Table 2.
 func DefaultOptions() Options {
-	return Options{
+	o := Options{
 		CoarseAvg: 64 * 1024, FineAvg: 4 * 1024, MaxFactor: 4,
 		DedupRounds: 7, OutputRounds: 25,
 	}
+	if s := os.Getenv("REPRO_COARSE_BATCH"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n >= 1 {
+			o.CoarseBatch = n
+		} else {
+			fmt.Fprintf(os.Stderr, "dedup: ignoring invalid REPRO_COARSE_BATCH=%q (want integer >= 1)\n", s)
+		}
+	}
+	return o
 }
 
 // Chunk is a fine-grained chunk moving through the pipeline.

@@ -192,8 +192,11 @@ func RunHyperqueue(rt *swan.Runtime, data []byte, o Options, segCap int) Result 
 			// spawn — one deque store and one wake sweep for 2×coarseBatch
 			// tasks. Prepare still runs per child in program order, so
 			// writeQ's push-privilege order (and thus the output stream)
-			// is identical to the unbatched loop.
-			const coarseBatch = 4
+			// is identical to the unbatched loop — for any batch size.
+			coarseBatch := o.CoarseBatch
+			if coarseBatch < 1 {
+				coarseBatch = 4
+			}
 			// localQs holds every chunk-local queue ever created, all owned
 			// by frag; scan points one past the last reuse so the rotating
 			// probe visits the oldest (most likely quiescent) queues first.

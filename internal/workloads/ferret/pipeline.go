@@ -205,7 +205,10 @@ func RunHyperqueue(rt *swan.Runtime, c *Corpus, p Params, segCap int) *Output {
 				// publish the whole wave of Process tasks with one
 				// batched spawn. Result order is unchanged: SpawnN
 				// prepares the outQ push privileges in index order.
-				const dispatchBatch = 8
+				dispatchBatch := p.DispatchBatch
+				if dispatchBatch < 1 {
+					dispatchBatch = 8
+				}
 				pp := imgQ.BindPop(g)
 				for !pp.Empty() {
 					batch := make([]*Image, 1, dispatchBatch)

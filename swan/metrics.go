@@ -38,8 +38,10 @@ var metricRows = []metricRow{
 		func(s RuntimeStats) float64 { return float64(s.RecycledQueues) }, nil, nil},
 	{"swan_sched_spawns_total", "counter", "Tasks dispatched through the scheduler.",
 		func(s RuntimeStats) float64 { return float64(s.Spawns) }, nil, nil},
-	{"swan_sched_steals_total", "counter", "Successful work-stealing deque steals.",
+	{"swan_sched_steals_total", "counter", "Successful work-stealing steal sweeps.",
 		func(s RuntimeStats) float64 { return float64(s.Steals) }, nil, nil},
+	{"swan_sched_stolen_tasks_total", "counter", "Tasks taken by steal sweeps (> steals with steal-half batching).",
+		func(s RuntimeStats) float64 { return float64(s.StolenTasks) }, nil, nil},
 	{"swan_sched_parks_total", "counter", "Worker sleeps for lack of ready work.",
 		func(s RuntimeStats) float64 { return float64(s.Parks) }, nil, nil},
 	{"swan_sched_blocks_total", "counter", "Block regions entered (run token released).",

@@ -1,0 +1,233 @@
+package swan_test
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/swan"
+)
+
+// mix64 is a cheap invertible hash (splitmix64 finalizer); the shard
+// tests use it both as the transform under test and as the partition
+// key, so routing is content-based and uneven across shards.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// runSharded pushes vals through a Sharded fan-out and returns the
+// egress stream in order.
+func runSharded(workers, shards, bound int, policy swan.SpawnPolicy, vals []uint64) []uint64 {
+	got := make([]uint64, 0, len(vals))
+	rt := swan.NewWithPolicy(workers, policy)
+	rt.Run(func(f *swan.Frame) {
+		s := swan.NewSharded(f, swan.ShardConfig{Shards: shards, Bound: bound},
+			func(v uint64) uint64 { return v },
+			func(c *swan.Frame, shard int) func(uint64) uint64 {
+				return func(v uint64) uint64 { return mix64(v) }
+			})
+		f.Spawn(func(c *swan.Frame) {
+			p := s.In().BindPush(c)
+			p.PushSlice(vals)
+		}, swan.Push(s.In()))
+		s.Launch(f)
+		f.Spawn(func(c *swan.Frame) {
+			p := s.Out().BindPop(c)
+			for !p.Empty() {
+				got = append(got, p.Pop())
+			}
+		}, swan.Pop(s.Out()))
+		f.Sync()
+	})
+	return got
+}
+
+// TestShardedBitDeterministic sweeps shards × workers × both scheduler
+// policies: the egress stream must be identical, element for element, to
+// the serial elision (a plain loop applying the transform in arrival
+// order) in every configuration.
+func TestShardedBitDeterministic(t *testing.T) {
+	const n = 20000
+	vals := make([]uint64, n)
+	x := uint64(42)
+	for i := range vals {
+		x = mix64(x)
+		vals[i] = x
+	}
+	want := make([]uint64, n)
+	for i, v := range vals {
+		want[i] = mix64(v)
+	}
+	for _, policy := range []swan.SpawnPolicy{swan.PolicySteal, swan.PolicyGoroutine} {
+		for _, shards := range []int{1, 2, 4} {
+			for _, workers := range []int{1, 4, 8} {
+				got := runSharded(workers, shards, 256, policy, vals)
+				if len(got) != n {
+					t.Fatalf("policy=%v shards=%d workers=%d: %d results, want %d",
+						policy, shards, workers, len(got), n)
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("policy=%v shards=%d workers=%d: result[%d] = %#x, want %#x",
+							policy, shards, workers, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardedTinyBoundsAndCounts probes the deadlock-prone corners:
+// bound 1, more shards than values, a single value, and an empty stream.
+func TestShardedTinyBoundsAndCounts(t *testing.T) {
+	for _, tc := range []struct {
+		n, shards, bound, workers int
+	}{
+		{0, 2, 1, 1},
+		{1, 4, 1, 1},
+		{100, 3, 1, 1},
+		{100, 5, 2, 4},
+	} {
+		vals := make([]uint64, tc.n)
+		for i := range vals {
+			vals[i] = uint64(i)
+		}
+		got := runSharded(tc.workers, tc.shards, tc.bound, swan.PolicySteal, vals)
+		if len(got) != tc.n {
+			t.Fatalf("%+v: %d results, want %d", tc, len(got), tc.n)
+		}
+		for i, v := range vals {
+			if got[i] != mix64(v) {
+				t.Fatalf("%+v: result[%d] = %#x, want %#x", tc, i, got[i], mix64(v))
+			}
+		}
+	}
+}
+
+// TestShardedBackpressureIsolation proves the per-shard isolation claim:
+// with shard 0's worker gated shut, shard 1 must keep processing up to
+// its own bound — a blocked sibling stalls nothing but itself — and
+// after the gate opens the egress stream is still in arrival order.
+func TestShardedBackpressureIsolation(t *testing.T) {
+	const bound = 8
+	const perShard = 64
+	gate := make(chan struct{})
+	var shard1Done atomic.Int64
+	var got []uint64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		rt := swan.NewWithPolicy(4, swan.PolicySteal)
+		rt.Run(func(f *swan.Frame) {
+			s := swan.NewSharded(f, swan.ShardConfig{Shards: 2, Bound: bound},
+				func(v uint64) uint64 { return v }, // even → shard 0, odd → shard 1
+				func(c *swan.Frame, shard int) func(uint64) uint64 {
+					first := true
+					return func(v uint64) uint64 {
+						if shard == 0 && first {
+							first = false
+							c.Block(func() { <-gate })
+						}
+						if shard == 1 {
+							shard1Done.Add(1)
+						}
+						return v
+					}
+				})
+			f.Spawn(func(c *swan.Frame) {
+				p := s.In().BindPush(c)
+				// Interleaved even/odd: element 0 hits shard 0 and jams it.
+				for i := 0; i < 2*perShard; i++ {
+					p.Push(uint64(i))
+				}
+			}, swan.Push(s.In()))
+			s.Launch(f)
+			f.Spawn(func(c *swan.Frame) {
+				p := s.Out().BindPop(c)
+				for !p.Empty() {
+					got = append(got, p.Pop())
+				}
+			}, swan.Pop(s.Out()))
+			f.Sync()
+		})
+	}()
+
+	// With shard 0 jammed (its first element never finishes), shard 1
+	// must still process at least its result-queue bound: the merger is
+	// stuck waiting on shard 0 (arrival order), so shard 1 fills its
+	// result queue and stops at its own bound — not at zero.
+	deadline := time.Now().Add(10 * time.Second)
+	for shard1Done.Load() < bound {
+		if time.Now().After(deadline) {
+			t.Fatalf("shard 1 processed only %d values while shard 0 was blocked; want >= %d (its bound)",
+				shard1Done.Load(), bound)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// And isolation is bounded, too: shard 1 cannot run unboundedly far
+	// ahead — at most bound results + bound queued inputs + one in hand.
+	if n := shard1Done.Load(); n > 2*bound+1 {
+		t.Fatalf("shard 1 processed %d values while the merger was stuck; bound %d should cap it at %d",
+			n, bound, 2*bound+1)
+	}
+	close(gate)
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("pipeline did not drain after the gate opened")
+	}
+	if len(got) != 2*perShard {
+		t.Fatalf("%d results, want %d", len(got), 2*perShard)
+	}
+	for i, v := range got {
+		if v != uint64(i) {
+			t.Fatalf("result[%d] = %d, want %d (arrival order broken)", i, v, i)
+		}
+	}
+}
+
+// TestShardedMetrics checks that a named fan-out exposes its per-shard
+// queues in the stats registry.
+func TestShardedMetrics(t *testing.T) {
+	rt := swan.New(2)
+	rt.Run(func(f *swan.Frame) {
+		s := swan.NewSharded(f, swan.ShardConfig{Shards: 2, Bound: 16, Name: "fan"},
+			func(v uint64) uint64 { return v },
+			func(c *swan.Frame, shard int) func(uint64) uint64 {
+				return func(v uint64) uint64 { return v }
+			})
+		f.Spawn(func(c *swan.Frame) {
+			p := s.In().BindPush(c)
+			for i := 0; i < 100; i++ {
+				p.Push(uint64(i))
+			}
+		}, swan.Push(s.In()))
+		s.Launch(f)
+		f.Spawn(func(c *swan.Frame) {
+			p := s.Out().BindPop(c)
+			for !p.Empty() {
+				p.Pop()
+			}
+		}, swan.Pop(s.Out()))
+		f.Sync()
+
+		want := map[string]bool{
+			"fan.in": false, "fan.route": false, "fan.out": false,
+			"fan.shard0.in": false, "fan.shard0.out": false,
+			"fan.shard1.in": false, "fan.shard1.out": false,
+		}
+		for _, qs := range swan.Stats(rt).Queues {
+			if _, ok := want[qs.Name]; ok {
+				want[qs.Name] = true
+			}
+		}
+		for name, seen := range want {
+			if !seen {
+				t.Errorf("queue %q missing from stats registry", name)
+			}
+		}
+	})
+}

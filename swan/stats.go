@@ -21,7 +21,8 @@ type RuntimeStats struct {
 	SegmentAllocs  uint64       // segments ever allocated fresh (pool misses)
 	RecycledQueues uint64       // completed Queue.Recycle resets
 	Spawns         uint64       // tasks dispatched (PolicySteal only)
-	Steals         uint64       // successful deque steals (PolicySteal only)
+	Steals         uint64       // successful steal sweeps (PolicySteal only)
+	StolenTasks    uint64       // tasks taken by steal sweeps (>= Steals with steal-half batching)
 	Parks          uint64       // worker sleeps for lack of work (PolicySteal only)
 	Blocks         uint64       // Block regions entered (PolicySteal only)
 	Blocked        int          // tasks currently inside a Block region (PolicySteal only)
@@ -42,6 +43,7 @@ func Stats(rt *Runtime) RuntimeStats {
 		RecycledQueues: prov.RecycledQueues(),
 		Spawns:         s.Spawns,
 		Steals:         s.Steals,
+		StolenTasks:    s.StolenTasks,
 		Parks:          s.Parks,
 		Blocks:         s.Blocks,
 		Blocked:        s.Blocked,
