@@ -8,7 +8,15 @@ BENCH_SET  ?= SteadyStateAllocs|QueueChurn|PrepareCompleteContention|BatchedSpaw
 BENCH_TIME ?= 300ms
 BENCH_OUT  ?= BENCH_pr8.json
 
-.PHONY: all build vet fmt-check test race bench-smoke bench-json quickcheck docs ci
+.PHONY: all build vet fmt-check test race bench-smoke bench-json quickcheck soak soak-ci docs ci
+
+# soak knobs: steps per policy, base seed, and the config preset
+# (internal/soak: ci / default / heavy). The nightly workflow raises
+# SOAK_STEPS ~10x over the PR gate.
+SOAK_STEPS    ?= 2000000
+SOAK_CI_STEPS ?= 200000
+SOAK_SEED     ?= 1
+SOAK_CONFIG   ?= heavy
 
 all: build
 
@@ -59,9 +67,35 @@ quickcheck:
 	REPRO_STEAL_BATCH=1 $(GO) run ./cmd/quickcheck -n 100
 	$(GO) test -race -count=3 -run 'Regression' ./internal/core
 
+# Long-horizon lifecycle fuzzing (internal/soak): a config-driven op mix
+# over a long-lived runtime with invariant sweeps, pool-accounting
+# audits and replay-window determinism checks. `make soak` is the
+# operator entry point — hours of churn at the heavy preset under both
+# scheduling policies. Any failure prints a FAIL line with a
+# copy-pasteable replay command.
+soak:
+	$(GO) run ./cmd/soakfuzz -config $(SOAK_CONFIG) -policy steal -seed $(SOAK_SEED) -steps $(SOAK_STEPS)
+	$(GO) run ./cmd/soakfuzz -config $(SOAK_CONFIG) -policy goroutine -seed $(SOAK_SEED) -steps $(SOAK_STEPS)
+
+# Bounded soak for the PR gate: both policies under the race detector,
+# an injected-bug smoke run proving the harness still detects and
+# replays faults deterministically, and the Short-guarded sweeps at
+# full depth (plain `go test` runs them without -short).
+soak-ci:
+	$(GO) run -race ./cmd/soakfuzz -config ci -policy steal -seed $(SOAK_SEED) -steps $(SOAK_CI_STEPS)
+	$(GO) run -race ./cmd/soakfuzz -config ci -policy goroutine -seed $(SOAK_SEED) -steps $(SOAK_CI_STEPS)
+	@echo "soak-ci: verifying fault injection is detected (expect FAIL + replay line)"
+	@if $(GO) run ./cmd/soakfuzz -config ci -policy steal -seed 3 -steps 9000 -fault 4321 >/tmp/soak-fault.out 2>&1; then \
+		echo "soak-ci: injected fault was NOT detected"; cat /tmp/soak-fault.out; exit 1; \
+	else \
+		grep -m1 '^FAIL soak' /tmp/soak-fault.out; echo "soak-ci: injected fault detected ✓"; \
+	fi
+	$(GO) test -race -count=1 ./internal/soak/
+	$(GO) test -count=1 ./internal/core/ ./internal/workloads/...
+
 # Documentation is executable: the swan Example functions are the code
 # samples README/ARCHITECTURE point at, and running them catches doc rot.
 docs:
 	$(GO) test -run Example -v ./swan
 
-ci: build vet fmt-check test race bench-smoke quickcheck docs
+ci: build vet fmt-check test race bench-smoke quickcheck soak-ci docs

@@ -60,15 +60,21 @@ func main() {
 		for i := 0; i < *n; i++ {
 			p := qcheck.GenerateSharded(*seed + uint64(i))
 			var badConfigs []string
+			firstBadWorkers := 0
 			for _, w := range workerSet {
 				if !p.Check(w, policy) {
 					badConfigs = append(badConfigs, fmt.Sprintf("workers=%d", w))
+					if firstBadWorkers == 0 {
+						firstBadWorkers = w
+					}
 				}
 			}
 			if len(badConfigs) > 0 {
 				failed++
-				fmt.Printf("FAIL sharded seed=%d values=%d shards=%d bound=%d segcap=%d (%s)\n",
-					p.Seed, p.Values, p.Shards, p.Bound, p.SegCap, strings.Join(badConfigs, ", "))
+				fmt.Printf("FAIL sharded seed=%d values=%d shards=%d bound=%d segcap=%d (%s)\n"+
+					"  replay: REPRO_SCHED=%s go run ./cmd/quickcheck -sharded -n 1 -seed %d -workers %d\n",
+					p.Seed, p.Values, p.Shards, p.Bound, p.SegCap, strings.Join(badConfigs, ", "),
+					policy, p.Seed, firstBadWorkers)
 			} else if *verbose {
 				fmt.Printf("sharded %3d: %d values, %d shards, bound %d — ok\n", i, p.Values, p.Shards, p.Bound)
 			}
@@ -92,6 +98,7 @@ func main() {
 		}
 		var badConfigs []string
 		var firstBad *qcheck.Outcome
+		firstBadWorkers := 0
 		for _, w := range workerSet {
 			for _, s := range segSet {
 				out, ok := p.CheckFull(w, s, policy)
@@ -99,15 +106,18 @@ func main() {
 					badConfigs = append(badConfigs, fmt.Sprintf("workers=%d segcap=%d", w, s))
 					if firstBad == nil {
 						firstBad = &out
+						firstBadWorkers = w
 					}
 				}
 			}
 		}
 		if len(badConfigs) > 0 {
 			failedPrograms++
-			fmt.Printf("FAIL seed=%d queues=%d (%s)\n  got:    %v\n  oracle: %v\n  reducer got:    %v\n  reducer oracle: %v\n",
+			fmt.Printf("FAIL seed=%d queues=%d (%s)\n  got:    %v\n  oracle: %v\n  reducer got:    %v\n  reducer oracle: %v\n"+
+				"  replay: REPRO_SCHED=%s go run ./cmd/quickcheck -n 1 -seed %d -queues %d -workers %d\n",
 				p.Seed, p.Queues, strings.Join(badConfigs, ", "),
-				firstBad.Consumed, p.Oracle, firstBad.Reduced, p.RedOracle)
+				firstBad.Consumed, p.Oracle, firstBad.Reduced, p.RedOracle,
+				policy, p.Seed, p.Queues, firstBadWorkers)
 		} else if *verbose {
 			fmt.Printf("program %3d: %d tasks, %d values, %d queues — ok\n", i, p.Tasks, p.Values, p.Queues)
 		}

@@ -1,0 +1,81 @@
+// soakfuzz drives the long-horizon lifecycle fuzzer (internal/soak): a
+// config-selected mix of queue lifecycle churn, hyperobject folds,
+// sharded fan-outs and embedded qcheck programs against one long-lived
+// runtime, with striped invariant sweeps, pool-accounting audits and
+// replay-window determinism checks.
+//
+// A failure prints a quickcheck-style FAIL line whose replay command
+// re-executes exactly the failing window:
+//
+//	FAIL soak config=ci policy=steal window=17 wseed=1041 step=35102: ...
+//	replay: go run ./cmd/soakfuzz -config ci -policy steal -workers 4 -seed 1041 -steps 2000
+//
+// -fault injects a deliberate model-invisible value at the given global
+// step; the run must then fail, deterministically — the harness's own
+// smoke test.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/soak"
+)
+
+func main() {
+	var (
+		steps   = flag.Int64("steps", 100_000, "stepper operations to execute")
+		seed    = flag.Uint64("seed", 1, "base seed (window i runs from seed+i)")
+		config  = flag.String("config", "default", "config preset: "+strings.Join(soak.ConfigNames(), ", "))
+		policy  = flag.String("policy", "steal", "scheduling substrate: steal or goroutine")
+		workers = flag.Int("workers", 4, "runtime worker count")
+		fault   = flag.Int64("fault", 0, "inject a model-invisible value at this global step (0 = off)")
+		oplog   = flag.Bool("oplog", true, "print the failing window's op log on failure")
+		verbose = flag.Bool("v", false, "print progress to stderr")
+	)
+	flag.Parse()
+
+	cfg, ok := soak.LookupConfig(*config)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "soakfuzz: unknown config %q (have: %s)\n",
+			*config, strings.Join(soak.ConfigNames(), ", "))
+		os.Exit(2)
+	}
+	pol, err := soak.ParsePolicy(*policy)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "soakfuzz: %v\n", err)
+		os.Exit(2)
+	}
+	opt := soak.Options{Workers: *workers, Policy: pol, FaultStep: *fault}
+	if *verbose {
+		opt.Progress = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	r, err := soak.New(cfg, opt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "soakfuzz: %v\n", err)
+		os.Exit(2)
+	}
+
+	rep, fail := r.Run(*seed, *steps)
+	if fail != nil {
+		fmt.Println(fail.FailLine())
+		if *oplog && fail.OpLog != "" {
+			fmt.Println("--- op log of the failing window ---")
+			fmt.Print(fail.OpLog)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("soakfuzz: OK — %d steps in %d windows (config=%s policy=%s workers=%d seed=%d)\n",
+		rep.Steps, rep.Windows, cfg.Name, soak.PolicyName(pol), *workers, *seed)
+	fmt.Printf("  sweeps=%d audits=%d replays=%d rebuilds=%d recycles=%d\n",
+		rep.Sweeps, rep.Audits, rep.Replays, rep.Rebuilds, rep.Recycles)
+	fmt.Printf("  qchecks=%d shardeds=%d handoffs=%d pushed=%d popped=%d\n",
+		rep.Qchecks, rep.Shardeds, rep.Handoffs, rep.Pushed, rep.Popped)
+	fmt.Printf("  segments: allocs=%d pooled=%d retired=%d recycled-queues=%d\n",
+		rep.FinalStats.SegmentAllocs, rep.FinalStats.PooledSegments,
+		rep.Retired, rep.FinalStats.RecycledQueues)
+}

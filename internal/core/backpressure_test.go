@@ -225,7 +225,10 @@ func TestBoundedConsumerCompletesWithoutDraining(t *testing.T) {
 // pin on the credit machinery's memory ordering (concurrent acquire /
 // release / park / wake on two queues at once).
 func TestBoundedTwoStagePipeline(t *testing.T) {
-	const total = 400
+	total := 2000
+	if testing.Short() {
+		total = 400
+	}
 	for _, policy := range policies {
 		for _, workers := range []int{1, 4} {
 			t.Run(fmt.Sprintf("%v/workers=%d", policy, workers), func(t *testing.T) {
@@ -270,7 +273,11 @@ func TestBoundedTwoStagePipeline(t *testing.T) {
 // consumer's trailing drained segment not yet recycled) plus the one
 // construction segment, however fast the producer would like to run.
 func TestBoundedMemoryCeiling(t *testing.T) {
-	const bound, segCap, total = 64, 16, 50_000
+	const bound, segCap = 64, 16
+	total := 200_000
+	if testing.Short() {
+		total = 50_000
+	}
 	for _, policy := range policies {
 		t.Run(fmt.Sprintf("%v", policy), func(t *testing.T) {
 			rt := swan.NewWithPolicy(2, policy)

@@ -156,7 +156,10 @@ func runProgram(workers, segCap int, root *taskDef) map[int][]int {
 }
 
 func TestPropertySerializability(t *testing.T) {
-	const programs = 60
+	programs := 200
+	if testing.Short() {
+		programs = 60
+	}
 	for seed := 0; seed < programs; seed++ {
 		g := &progGen{r: rng.New(uint64(seed) + 1), oracle: make(map[int][]int)}
 		root := g.gen(ModePushPop, 4)
@@ -174,7 +177,11 @@ func TestPropertySerializability(t *testing.T) {
 
 func TestPropertyRepeatability(t *testing.T) {
 	// Determinism: two executions at high parallelism agree exactly.
-	for seed := 100; seed < 120; seed++ {
+	last := 180
+	if testing.Short() {
+		last = 120
+	}
+	for seed := 100; seed < last; seed++ {
 		g := &progGen{r: rng.New(uint64(seed)), oracle: make(map[int][]int)}
 		root := g.gen(ModePushPop, 4)
 		a := runProgram(8, 7, root)

@@ -190,3 +190,42 @@ func (q *Queue[T]) MustCheckInvariants(f *sched.Frame) {
 		panic("hyperqueue: " + v[0].String())
 	}
 }
+
+// DebugChainSegments folds the serial frontier and reports how many
+// segments the queue currently holds in its head chain. It is the live
+// term of the pool-audit balance (see the PoolProvider.SegmentAllocs
+// comment): at a quiescent point every segment a queue owns is reachable
+// from the head chain once the frontier views are folded in, so
+//
+//	SegmentAllocs == PooledSegments + DroppedSegments
+//	                 + Σ DebugChainSegments(live queues)
+//	                 + segments abandoned with dead queues
+//
+// holds exactly. Like Recycle, it may only be called by the owning frame
+// at a quiescent point — every task ever granted privileges on the queue
+// has completed (CanRecycle's condition, except the queue need not be
+// drained) — and panics otherwise. The frontier fold mutates view
+// bookkeeping the same way the consumer's own emptiness decision would;
+// it never drops or reorders data.
+func (q *Queue[T]) DebugChainSegments(f *sched.Frame) uint64 {
+	qv := q.mustViews(f, ModePushPop)
+	if qv.parentQV != nil {
+		panic("hyperqueue: only the owning task may count chain segments")
+	}
+	q.lockCons()
+	q.lockRegNested()
+	defer func() {
+		q.unlockRegNested()
+		q.consMu.Unlock()
+	}()
+	if len(q.producers) > 0 || qv.vs.ChildHead != nil ||
+		qv.popServed.Load() != qv.popTickets.Load() {
+		panic("hyperqueue: DebugChainSegments on a non-quiescent queue")
+	}
+	q.linkFrontier(qv)
+	var n uint64
+	for s := q.headView.Head; s != nil; s = s.next.Load() {
+		n++
+	}
+	return n
+}

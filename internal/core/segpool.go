@@ -54,8 +54,24 @@ type PoolProvider struct {
 	// with a queue bound it yields a provable memory ceiling: a bounded
 	// 1P/1C pipeline can keep at most ceil(bound/segCap)+O(1) segments
 	// live, so segAllocs stays flat once the chain is warm (asserted in
-	// the backpressure tests).
+	// the backpressure tests). Every fresh segment a queue ever creates
+	// is counted here — pool misses and the oversized one-off segments
+	// WriteSlice builds for requests larger than the configured capacity
+	// — so together with segDrops it closes the pool-accounting books:
+	//
+	//   SegmentAllocs == PooledSegments + DroppedSegments + live chains
+	//                    + segments abandoned with their queues
+	//
+	// at any quiescent point. The soak harness (internal/soak) audits
+	// exactly this balance, tracking the abandoned term itself via
+	// Queue.DebugChainSegments.
 	segAllocs atomic.Uint64
+
+	// segDrops counts segments handed to put that the pool declined to
+	// cache — free lists full, or a segment of a non-pooled (oversized)
+	// capacity — and released to the garbage collector instead. The
+	// counterpart to segAllocs in the audit balance above.
+	segDrops atomic.Uint64
 
 	// flows is the registry of metered queues (bounded or Named), read by
 	// QueueStats for the swan metrics endpoint. Registration happens once
@@ -81,8 +97,27 @@ type PoolProvider struct {
 func (p *PoolProvider) RecycledQueues() uint64 { return p.recycles.Load() }
 
 // SegmentAllocs reports how many segments have ever been allocated fresh
-// (pool misses) across every pool of the provider.
+// (pool misses plus oversized WriteSlice segments) across every pool of
+// the provider.
 func (p *PoolProvider) SegmentAllocs() uint64 { return p.segAllocs.Load() }
+
+// DroppedSegments reports how many segments the pools declined to cache
+// (full free lists or non-pooled capacities) and released to the garbage
+// collector. Part of the pool-audit debug API: see the segAllocs comment
+// for the balance equation the soak harness checks.
+func (p *PoolProvider) DroppedSegments() uint64 { return p.segDrops.Load() }
+
+// CarryProvider installs the segment-pool provider of one runtime as the
+// provider of another, so pools — and every segment cached in them —
+// survive a runtime teardown/rebuild (a policy switch mid-service, or
+// per-connection runtime reuse). It must run before any queue is created
+// on the destination runtime; if the destination already resolved its own
+// provider, that one wins and CarryProvider reports it instead. The
+// returned provider is the one dst will use.
+func CarryProvider(src, dst *sched.Runtime) *PoolProvider {
+	prov := ProviderOf(src)
+	return dst.Shared(providerKey{}, func() any { return prov }).(*PoolProvider)
+}
 
 // registerFlow adds a metered queue's flow block to the provider
 // registry, assigning an automatic name when the queue was bounded but
@@ -360,6 +395,7 @@ func (p *segPool[T]) get(sid int) *segment[T] {
 // and must not touch it afterwards.
 func (p *segPool[T]) put(sid int, s *segment[T]) {
 	if len(s.buf) != p.segCap {
+		p.noteDrop()
 		return
 	}
 	s.reset()
@@ -375,6 +411,17 @@ func (p *segPool[T]) put(sid int, s *segment[T]) {
 	p.overflowMu.Lock()
 	if len(p.overflow) < segOverflowSlots {
 		p.overflow = append(p.overflow, s)
+		p.overflowMu.Unlock()
+		return
 	}
 	p.overflowMu.Unlock()
+	p.noteDrop()
+}
+
+// noteDrop records a segment released to the garbage collector instead
+// of cached, keeping the provider's audit balance closed.
+func (p *segPool[T]) noteDrop() {
+	if p.prov != nil {
+		p.prov.segDrops.Add(1)
+	}
 }

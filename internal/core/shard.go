@@ -143,6 +143,19 @@ func (s *Sharded[I, O]) Out() *Queue[O] { return s.out }
 // Shards reports the partition count N.
 func (s *Sharded[I, O]) Shards() int { return s.cfg.Shards }
 
+// DebugChainSegments sums Queue.DebugChainSegments over every queue of
+// the fan-out (ingress, route log, per-shard pairs, egress). Owner-only
+// and quiescent-only, like the queue-level call; the soak harness uses
+// it to account a fan-out's segments before abandoning it.
+func (s *Sharded[I, O]) DebugChainSegments(f *sched.Frame) uint64 {
+	n := s.in.DebugChainSegments(f) + s.out.DebugChainSegments(f) +
+		s.route.DebugChainSegments(f)
+	for i := range s.inQ {
+		n += s.inQ[i].DebugChainSegments(f) + s.resQ[i].DebugChainSegments(f)
+	}
+	return n
+}
+
 // Launch spawns the fan-out tasks — router, one worker per shard, merger
 // — on the owning frame, in that (program) order. It must be called
 // exactly once, from the task body that created the Sharded, after the

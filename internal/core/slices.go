@@ -48,8 +48,10 @@ func (q *Queue[T]) WriteSlice(f *sched.Frame, n int) []T {
 		var snew *segment[T]
 		if n > q.segCap {
 			// Oversized request: a one-off segment sized to fit, outside
-			// the pool (put drops it again on recycle).
+			// the pool (put drops it again on recycle). Counted in
+			// SegmentAllocs so the pool-audit balance stays closed.
 			snew = newSegment[T](n)
+			q.prov.segAllocs.Add(1)
 		} else {
 			snew = q.pool.get(q.pool.shard(f.WorkerID()))
 		}

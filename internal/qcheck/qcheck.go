@@ -44,7 +44,9 @@
 package qcheck
 
 import (
+	"fmt"
 	"reflect"
+	"strings"
 	"sync"
 
 	"repro/internal/rng"
@@ -309,10 +311,14 @@ func deps(modes []uint8, qs []*swan.Queue[int]) []swan.Dep {
 }
 
 // Outcome is everything a program execution produced: the per-task
-// consumption map and the reducer's final fold.
+// consumption map, the reducer's final fold, and — for the soak
+// harness's pool audit — how many segments the program's queues held
+// when it finished (counted at the final quiescent point, before the
+// queues are abandoned to the garbage collector).
 type Outcome struct {
-	Consumed map[int][]int
-	Reduced  []int
+	Consumed      map[int][]int
+	Reduced       []int
+	ChainSegments uint64
 }
 
 // Execute runs the program and returns the per-task consumption map;
@@ -321,18 +327,44 @@ func (p *Program) Execute(workers, segCap int, policy swan.SpawnPolicy) map[int]
 	return p.ExecuteFull(workers, segCap, policy).Consumed
 }
 
-// ExecuteFull runs the program on the real runtime with the given worker
+// ExecuteFull runs the program on a fresh runtime with the given worker
 // count, segment capacity and scheduling substrate, returning what each
 // task actually consumed and what the program's reducer folded. The
 // hyperqueue's runtime self-checking assertions are enabled for the
 // duration of the process (qcheck is a verifier; an assertion failure
 // surfaces as a panic out of ExecuteFull).
 func (p *Program) ExecuteFull(workers, segCap int, policy swan.SpawnPolicy) Outcome {
+	var out Outcome
+	swan.NewWithPolicy(workers, policy).Run(func(f *swan.Frame) {
+		out = p.exec(f, segCap)
+	})
+	return out
+}
+
+// RunOn executes the program against an existing runtime, inside an
+// isolated Call child of frame f — the soak harness uses it to churn one
+// long-lived runtime (and its shared segment pools) through many
+// programs instead of building a runtime per program. The program's
+// queues are created in, and die with, the child frame; Outcome reports
+// their final chain segments so the caller can keep its pool-accounting
+// books.
+func (p *Program) RunOn(f *swan.Frame, segCap int) Outcome {
+	var out Outcome
+	f.Call(func(c *swan.Frame) { out = p.exec(c, segCap) })
+	return out
+}
+
+// exec is the shared program interpreter: it builds the program's queues
+// and reducer on frame f, walks the task tree, syncs, and snapshots the
+// outcome. f must be a root-like frame that owns nothing else on the
+// queues it creates (ExecuteFull passes a fresh runtime's root, RunOn an
+// isolated Call child).
+func (p *Program) exec(f *swan.Frame, segCap int) Outcome {
 	swan.SetQueueDebugChecks(true)
 	out := Outcome{Consumed: make(map[int][]int)}
 	consumed := out.Consumed
 	var mu sync.Mutex
-	swan.NewWithPolicy(workers, policy).Run(func(f *swan.Frame) {
+	{
 		qs := make([]*swan.Queue[int], p.Queues)
 		for i := range qs {
 			var opts []swan.QueueOption
@@ -345,15 +377,15 @@ func (p *Program) ExecuteFull(workers, segCap int, policy swan.SpawnPolicy) Outc
 			Identity: func() []int { return nil },
 			Combine:  func(into *[]int, from []int) { *into = append(*into, from...) },
 		})
-		var exec func(f *swan.Frame, td *task)
-		exec = func(f *swan.Frame, td *task) {
+		var walk func(f *swan.Frame, td *task)
+		walk = func(f *swan.Frame, td *task) {
 			for _, a := range td.acts {
 				switch a.kind {
 				case actPush:
 					qs[a.q].Push(f, a.val)
 				case actSpawn, actCall:
 					child := a.child
-					body := func(c *swan.Frame) { exec(c, child) }
+					body := func(c *swan.Frame) { walk(c, child) }
 					ds := deps(child.modes, qs)
 					if child.red {
 						ds = append(ds, swan.Reduce(red))
@@ -456,10 +488,15 @@ func (p *Program) ExecuteFull(workers, segCap int, policy swan.SpawnPolicy) Outc
 				}
 			}
 		}
-		exec(f, p.root)
+		walk(f, p.root)
 		f.Sync()
 		out.Reduced = red.Value(f)
-	})
+		// Quiescent now (the Sync covered every spawned task): count the
+		// segments the queues still hold, for the caller's pool audit.
+		for _, q := range qs {
+			out.ChainSegments += q.DebugChainSegments(f)
+		}
+	}
 	return out
 }
 
@@ -479,6 +516,52 @@ func (p *Program) CheckFull(workers, segCap int, policy swan.SpawnPolicy) (Outco
 	out := p.ExecuteFull(workers, segCap, policy)
 	ok := Equal(out.Consumed, p.Oracle) && reflect.DeepEqual(out.Reduced, p.RedOracle)
 	return out, ok
+}
+
+// OpLog renders the program's task tree as one operation per line — a
+// human-readable replay artifact. A failure report that carries the
+// (generator version, seed, queues) triple is already replayable; the op
+// log is what the nightly soak uploads alongside it so a failing window
+// can be read without re-running the generator.
+func (p *Program) OpLog() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program seed=%d queues=%d tasks=%d values=%d bounds=%v\n",
+		p.Seed, p.Queues, p.Tasks, p.Values, p.Bounds)
+	var walk func(td *task, depth int)
+	walk = func(td *task, depth int) {
+		indent := strings.Repeat("  ", depth)
+		fmt.Fprintf(&b, "%stask %d modes=%v red=%v\n", indent, td.id, td.modes, td.red)
+		for _, a := range td.acts {
+			switch a.kind {
+			case actPush:
+				fmt.Fprintf(&b, "%s  push q%d v%d\n", indent, a.q, a.val)
+			case actSpawn:
+				fmt.Fprintf(&b, "%s  spawn task %d\n", indent, a.child.id)
+				walk(a.child, depth+1)
+			case actCall:
+				fmt.Fprintf(&b, "%s  call task %d\n", indent, a.child.id)
+				walk(a.child, depth+1)
+			case actPopN:
+				fmt.Fprintf(&b, "%s  pop q%d n=%d\n", indent, a.q, a.n)
+			case actDrain:
+				fmt.Fprintf(&b, "%s  drain q%d\n", indent, a.q)
+			case actSync:
+				fmt.Fprintf(&b, "%s  sync\n", indent)
+			case actTryPopN:
+				fmt.Fprintf(&b, "%s  trypop q%d n=%d\n", indent, a.q, a.n)
+			case actReadSliceN:
+				fmt.Fprintf(&b, "%s  readslice q%d n=%d\n", indent, a.q, a.n)
+			case actBindPushN:
+				fmt.Fprintf(&b, "%s  bindpush q%d v%d n=%d\n", indent, a.q, a.val, a.n)
+			case actBindPopN:
+				fmt.Fprintf(&b, "%s  bindpop q%d n=%d\n", indent, a.q, a.n)
+			case actReduceAdd:
+				fmt.Fprintf(&b, "%s  reduce v%d\n", indent, a.val)
+			}
+		}
+	}
+	walk(p.root, 0)
+	return b.String()
 }
 
 // DefaultPolicy reports the scheduling substrate selected by the

@@ -54,38 +54,52 @@ func GenerateSharded(seed uint64) *ShardedProgram {
 
 func (p *ShardedProgram) transform(v uint64) uint64 { return shardedMix(v * p.mult) }
 
-// Check runs the program on the real runtime and reports whether the
+// Check runs the program on a fresh runtime and reports whether the
 // egress stream matches the serial elision.
 func (p *ShardedProgram) Check(workers int, policy swan.SpawnPolicy) bool {
+	var ok bool
+	swan.NewWithPolicy(workers, policy).Run(func(f *swan.Frame) {
+		ok, _ = p.RunOn(f)
+	})
+	return ok
+}
+
+// RunOn executes the program as a child of an existing frame (the soak
+// harness runs many programs on one long-lived runtime) and reports
+// whether the egress matched the serial elision, plus the number of
+// segments the fan-out's queues still held at quiescence — the caller's
+// pool-audit term for the abandoned queues.
+func (p *ShardedProgram) RunOn(f *swan.Frame) (ok bool, chains uint64) {
 	got := make([]uint64, 0, p.Values)
-	rt := swan.NewWithPolicy(workers, policy)
-	rt.Run(func(f *swan.Frame) {
-		s := swan.NewSharded(f,
+	var s *swan.Sharded[uint64, uint64]
+	f.Call(func(c *swan.Frame) {
+		s = swan.NewSharded(c,
 			swan.ShardConfig{Shards: p.Shards, Bound: p.Bound, SegCap: p.SegCap},
 			func(v uint64) uint64 { return v },
-			func(c *swan.Frame, shard int) func(uint64) uint64 {
+			func(w *swan.Frame, shard int) func(uint64) uint64 {
 				return p.transform
 			})
-		f.Spawn(func(c *swan.Frame) {
-			w := s.In().BindPush(c)
-			w.PushSlice(p.vals)
+		c.Spawn(func(w *swan.Frame) {
+			pu := s.In().BindPush(w)
+			pu.PushSlice(p.vals)
 		}, swan.Push(s.In()))
-		s.Launch(f)
-		f.Spawn(func(c *swan.Frame) {
-			r := s.Out().BindPop(c)
+		s.Launch(c)
+		c.Spawn(func(w *swan.Frame) {
+			r := s.Out().BindPop(w)
 			for !r.Empty() {
 				got = append(got, r.Pop())
 			}
 		}, swan.Pop(s.Out()))
-		f.Sync()
+		c.Sync()
+		chains = s.DebugChainSegments(c)
 	})
 	if len(got) != len(p.vals) {
-		return false
+		return false, chains
 	}
 	for i, v := range p.vals {
 		if got[i] != p.transform(v) {
-			return false
+			return false, chains
 		}
 	}
-	return true
+	return true, chains
 }

@@ -1,0 +1,175 @@
+package soak
+
+import (
+	"strings"
+	"testing"
+
+	"repro/swan"
+)
+
+var policies = []struct {
+	name string
+	p    swan.SpawnPolicy
+}{
+	{"steal", swan.PolicySteal},
+	{"goroutine", swan.PolicyGoroutine},
+}
+
+// TestSoakShort runs a bounded soak under both scheduling policies: no
+// oracle may fire, and every op class the ci config stripes in must
+// actually have run — a soak that silently skips its sweeps or audits
+// proves nothing.
+func TestSoakShort(t *testing.T) {
+	steps := int64(24_000)
+	if testing.Short() {
+		// Still ≥ RebuildEveryWindows+1 windows of the ci config, so the
+		// rebuild and replay stripes run at least once.
+		steps = 10_000
+	}
+	cfg, ok := LookupConfig("ci")
+	if !ok {
+		t.Fatal("ci config missing")
+	}
+	for _, pol := range policies {
+		pol := pol
+		t.Run(pol.name, func(t *testing.T) {
+			r, err := New(cfg, Options{Workers: 4, Policy: pol.p})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, fail := r.Run(0x50ac^uint64(len(pol.name)), steps)
+			if fail != nil {
+				t.Fatalf("soak failed:\n%s\nop log:\n%s", fail.FailLine(), fail.OpLog)
+			}
+			if rep.Steps != steps {
+				t.Fatalf("ran %d steps, want %d", rep.Steps, steps)
+			}
+			for name, n := range map[string]int64{
+				"sweeps":   rep.Sweeps,
+				"audits":   rep.Audits,
+				"recycles": rep.Recycles,
+				"qchecks":  rep.Qchecks,
+				"shardeds": rep.Shardeds,
+				"handoffs": rep.Handoffs,
+				"rebuilds": rep.Rebuilds,
+				"replays":  rep.Replays,
+			} {
+				if n == 0 {
+					t.Errorf("op class %s never ran", name)
+				}
+			}
+			if rep.Pushed != rep.Popped {
+				t.Errorf("pushed %d values but popped %d — windows must end drained",
+					rep.Pushed, rep.Popped)
+			}
+		})
+	}
+}
+
+// TestInjectedFaultDetected is the harness's negative control: a
+// model-invisible value injected mid-run must produce a failure, and
+// the failure's replay recipe (wseed, window length, in-window fault
+// step) must reproduce the identical report — under the same policy,
+// under the other policy, and at a different worker count.
+func TestInjectedFaultDetected(t *testing.T) {
+	cfg, _ := LookupConfig("ci")
+	r, err := New(cfg, Options{Workers: 4, Policy: swan.PolicySteal, FaultStep: 4321})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, fail := r.Run(3, 9000)
+	if fail == nil {
+		t.Fatal("injected fault was not detected")
+	}
+	if fail.Fault == 0 {
+		t.Fatalf("failure does not carry the fault step: %+v", fail)
+	}
+	if !strings.Contains(fail.FailLine(), "-fault") {
+		t.Fatalf("FAIL line lacks the -fault replay flag:\n%s", fail.FailLine())
+	}
+	for _, pol := range policies {
+		for _, workers := range []int{2, 7} {
+			r2, err := New(cfg, Options{Workers: workers, Policy: pol.p, FaultStep: fail.Fault})
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, fail2 := r2.Run(fail.WSeed, fail.Steps)
+			if fail2 == nil {
+				t.Fatalf("replay (%s, %d workers) did not reproduce the failure", pol.name, workers)
+			}
+			if fail2.Msg != fail.Msg || fail2.Step != fail.Step-(fail.Window*int64(cfg.OpsPerWindow)) {
+				t.Fatalf("replay (%s, %d workers) diverged:\noriginal: step=%d %s\nreplay:   step=%d %s",
+					pol.name, workers, fail.Step, fail.Msg, fail2.Step, fail2.Msg)
+			}
+		}
+	}
+}
+
+// TestWindowDigestScheduleIndependent pins the replay-window oracle
+// itself: the digest folds every value every oracle observed, so it must
+// be bit-identical across policies and worker counts — the paper's
+// determinism claim applied to the fuzzer's whole op mix.
+func TestWindowDigestScheduleIndependent(t *testing.T) {
+	cfg, _ := LookupConfig("ci")
+	steps := int64(cfg.OpsPerWindow)
+	var ref [32]byte
+	for i, opt := range []Options{
+		{Workers: 1, Policy: swan.PolicySteal},
+		{Workers: 8, Policy: swan.PolicySteal},
+		{Workers: 4, Policy: swan.PolicyGoroutine},
+	} {
+		d, fail := WindowDigest(cfg, opt, 42, steps)
+		if fail != nil {
+			t.Fatalf("window failed under %+v: %s", opt, fail.Msg)
+		}
+		if i == 0 {
+			ref = d
+			continue
+		}
+		if d != ref {
+			t.Fatalf("digest diverged under %+v: %x vs %x", opt, d, ref)
+		}
+	}
+}
+
+func TestConfigPresets(t *testing.T) {
+	names := ConfigNames()
+	if len(names) < 3 {
+		t.Fatalf("want at least ci/default/heavy presets, have %v", names)
+	}
+	for _, name := range names {
+		cfg, ok := LookupConfig(name)
+		if !ok {
+			t.Fatalf("ConfigNames lists %q but LookupConfig misses it", name)
+		}
+		if err := cfg.validate(); err != nil {
+			t.Errorf("preset %q invalid: %v", name, err)
+		}
+	}
+	if _, ok := LookupConfig("no-such-config"); ok {
+		t.Error("LookupConfig accepted an unknown name")
+	}
+	bad := Config{Name: "bad", OpsPerWindow: 100, SegCap: 4, MaxQueues: 2,
+		MaxBurst: 8, Bounds: []int{3}}
+	if err := bad.validate(); err == nil {
+		t.Error("validate accepted a bound of 3 (rearm pushes up to 4 values)")
+	}
+	if _, err := New(bad, Options{}); err == nil {
+		t.Error("New accepted an invalid config")
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for _, pol := range policies {
+		p, err := ParsePolicy(pol.name)
+		if err != nil || p != pol.p {
+			t.Errorf("ParsePolicy(%q) = %v, %v", pol.name, p, err)
+		}
+		if PolicyName(pol.p) != pol.name {
+			t.Errorf("PolicyName(%v) = %q, want %q", pol.p, PolicyName(pol.p), pol.name)
+		}
+	}
+	if _, err := ParsePolicy("fibers"); err == nil {
+		t.Error("ParsePolicy accepted an unknown policy")
+	}
+}

@@ -9,7 +9,11 @@ import (
 
 func testData(t *testing.T) []byte {
 	t.Helper()
-	return GenerateInput(42, 512*1024, 0.5)
+	size := 512 * 1024
+	if testing.Short() {
+		size = 128 * 1024
+	}
+	return GenerateInput(42, size, 0.5)
 }
 
 func smallOpts() Options {

@@ -14,7 +14,11 @@ import (
 // (RunShardedSerial, the same interleaved stream folded in arrival
 // order) in every configuration.
 func TestShardedDigestDeterministic(t *testing.T) {
-	cfg := ShardedConfig{Config: Config{Samples: 100_000, Sensors: 16, SegCap: 512}}
+	samples := 100_000
+	if testing.Short() {
+		samples = 20_000
+	}
+	cfg := ShardedConfig{Config: Config{Samples: samples, Sensors: 16, SegCap: 512}}
 	want := RunShardedSerial(cfg).Digest()
 	for _, policy := range []swan.SpawnPolicy{swan.PolicySteal, swan.PolicyGoroutine} {
 		for _, shards := range []int{1, 2, 4} {
