@@ -77,18 +77,29 @@ soak:
 	$(GO) run ./cmd/soakfuzz -config $(SOAK_CONFIG) -policy steal -seed $(SOAK_SEED) -steps $(SOAK_STEPS)
 	$(GO) run ./cmd/soakfuzz -config $(SOAK_CONFIG) -policy goroutine -seed $(SOAK_SEED) -steps $(SOAK_STEPS)
 
-# Bounded soak for the PR gate: both policies under the race detector,
-# an injected-bug smoke run proving the harness still detects and
-# replays faults deterministically, and the Short-guarded sweeps at
-# full depth (plain `go test` runs them without -short).
+# Bounded soak for the PR gate: both policies under the race detector —
+# once at the ci preset and once at the chaos preset, which stripes
+# cancellations, queue poisonings and deadline probes through the op mix
+# at full depth — plus injected-bug smoke runs (a model-invisible value
+# and a spurious cancellation) proving the harness still detects and
+# replays both fault classes deterministically, and the Short-guarded
+# sweeps at full depth (plain `go test` runs them without -short).
 soak-ci:
 	$(GO) run -race ./cmd/soakfuzz -config ci -policy steal -seed $(SOAK_SEED) -steps $(SOAK_CI_STEPS)
 	$(GO) run -race ./cmd/soakfuzz -config ci -policy goroutine -seed $(SOAK_SEED) -steps $(SOAK_CI_STEPS)
+	$(GO) run -race ./cmd/soakfuzz -config chaos -policy steal -seed $(SOAK_SEED) -steps $(SOAK_CI_STEPS)
+	$(GO) run -race ./cmd/soakfuzz -config chaos -policy goroutine -seed $(SOAK_SEED) -steps $(SOAK_CI_STEPS)
 	@echo "soak-ci: verifying fault injection is detected (expect FAIL + replay line)"
 	@if $(GO) run ./cmd/soakfuzz -config ci -policy steal -seed 3 -steps 9000 -fault 4321 >/tmp/soak-fault.out 2>&1; then \
 		echo "soak-ci: injected fault was NOT detected"; cat /tmp/soak-fault.out; exit 1; \
 	else \
 		grep -m1 '^FAIL soak' /tmp/soak-fault.out; echo "soak-ci: injected fault detected ✓"; \
+	fi
+	@echo "soak-ci: verifying a spurious cancellation is detected (expect FAIL + replay line)"
+	@if $(GO) run ./cmd/soakfuzz -config ci -policy steal -seed 3 -steps 9000 -fault 4321 -faultkind cancel >/tmp/soak-cancel.out 2>&1; then \
+		echo "soak-ci: injected cancellation was NOT detected"; cat /tmp/soak-cancel.out; exit 1; \
+	else \
+		grep -m1 '^FAIL soak' /tmp/soak-cancel.out; echo "soak-ci: injected cancellation detected ✓"; \
 	fi
 	$(GO) test -race -count=1 ./internal/soak/
 	$(GO) test -count=1 ./internal/core/ ./internal/workloads/...

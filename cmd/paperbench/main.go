@@ -17,7 +17,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
+	"sync/atomic"
 
 	"repro/internal/bench"
 	"repro/internal/sched"
@@ -66,7 +68,21 @@ func main() {
 			os.Exit(2)
 		}
 	}
-	bench.CollectRuntimeStats(*showStats || *metricsAddr != "")
+	// Collection is always on here (the process is short-lived, the
+	// references are cheap) so a SIGINT can reach every live runtime's
+	// cancel scope: parked tasks unwind, the in-flight experiment drains,
+	// and the stats report still renders before exit.
+	bench.CollectRuntimeStats(true)
+	var interrupted atomic.Bool
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "paperbench: interrupt — canceling live runtimes, draining")
+		signal.Stop(sig)
+		interrupted.Store(true)
+		bench.CancelCollected(nil)
+	}()
 	if *metricsAddr != "" {
 		addr, err := bench.ServeMetrics(*metricsAddr)
 		if err != nil {
@@ -78,10 +94,18 @@ func main() {
 	fmt.Printf("# Hyperqueue reproduction — %d cores available, scale %d, scheduler %s\n\n", runtime.NumCPU(), *scale, sched.DefaultPolicy())
 	if *exp == "all" {
 		for _, e := range []string{"table1", "table2", "fig8", "fig11", "bzip2", "latency"} {
+			if interrupted.Load() {
+				break
+			}
 			run(e)
 		}
 	} else {
 		run(*exp)
+	}
+	if interrupted.Load() {
+		fmt.Fprintln(os.Stderr, "paperbench: interrupted — results above the interrupt are valid, later rows drained early")
+		fmt.Println(bench.RuntimeStatsReport())
+		os.Exit(130)
 	}
 	if *showStats {
 		fmt.Println(bench.RuntimeStatsReport())

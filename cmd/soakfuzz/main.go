@@ -10,15 +10,21 @@
 //	FAIL soak config=ci policy=steal window=17 wseed=1041 step=35102: ...
 //	replay: go run ./cmd/soakfuzz -config ci -policy steal -workers 4 -seed 1041 -steps 2000
 //
-// -fault injects a deliberate model-invisible value at the given global
-// step; the run must then fail, deterministically — the harness's own
-// smoke test.
+// -fault injects a deliberate bug at the given global step (-faultkind
+// selects the class: a model-invisible value, or a spurious root-scope
+// cancellation); the run must then fail, deterministically — the
+// harness's own smoke test.
+//
+// SIGINT cancels the current window through the cancellation API: the
+// run drains cleanly (parked producers and consumers unwind, the pool
+// stays balanced) and the final stats are printed before exiting.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"repro/internal/soak"
@@ -31,7 +37,8 @@ func main() {
 		config  = flag.String("config", "default", "config preset: "+strings.Join(soak.ConfigNames(), ", "))
 		policy  = flag.String("policy", "steal", "scheduling substrate: steal or goroutine")
 		workers = flag.Int("workers", 4, "runtime worker count")
-		fault   = flag.Int64("fault", 0, "inject a model-invisible value at this global step (0 = off)")
+		fault   = flag.Int64("fault", 0, "inject a deliberate bug at this global step (0 = off)")
+		fkind   = flag.String("faultkind", soak.FaultValue, "injected bug class: value or cancel")
 		oplog   = flag.Bool("oplog", true, "print the failing window's op log on failure")
 		verbose = flag.Bool("v", false, "print progress to stderr")
 	)
@@ -48,7 +55,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "soakfuzz: %v\n", err)
 		os.Exit(2)
 	}
-	opt := soak.Options{Workers: *workers, Policy: pol, FaultStep: *fault}
+	opt := soak.Options{Workers: *workers, Policy: pol, FaultStep: *fault, FaultKind: *fkind}
 	if *verbose {
 		opt.Progress = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
@@ -60,6 +67,18 @@ func main() {
 		os.Exit(2)
 	}
 
+	// SIGINT cancels the in-flight window through the runtime's cancel
+	// scope: parked tasks unwind, the window drains, and Run returns with
+	// the report intact. A second SIGINT kills the process the usual way.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "soakfuzz: interrupt — canceling the in-flight window")
+		signal.Stop(sig)
+		r.Stop()
+	}()
+
 	rep, fail := r.Run(*seed, *steps)
 	if fail != nil {
 		fmt.Println(fail.FailLine())
@@ -69,13 +88,19 @@ func main() {
 		}
 		os.Exit(1)
 	}
-	fmt.Printf("soakfuzz: OK — %d steps in %d windows (config=%s policy=%s workers=%d seed=%d)\n",
-		rep.Steps, rep.Windows, cfg.Name, soak.PolicyName(pol), *workers, *seed)
+	verdict := "OK"
+	if rep.Interrupted {
+		verdict = "interrupted (clean drain)"
+	}
+	fmt.Printf("soakfuzz: %s — %d steps in %d windows (config=%s policy=%s workers=%d seed=%d)\n",
+		verdict, rep.Steps, rep.Windows, cfg.Name, soak.PolicyName(pol), *workers, *seed)
 	fmt.Printf("  sweeps=%d audits=%d replays=%d rebuilds=%d recycles=%d\n",
 		rep.Sweeps, rep.Audits, rep.Replays, rep.Rebuilds, rep.Recycles)
-	fmt.Printf("  qchecks=%d shardeds=%d handoffs=%d pushed=%d popped=%d\n",
-		rep.Qchecks, rep.Shardeds, rep.Handoffs, rep.Pushed, rep.Popped)
+	fmt.Printf("  qchecks=%d shardeds=%d handoffs=%d chaos=%d pushed=%d popped=%d\n",
+		rep.Qchecks, rep.Shardeds, rep.Handoffs, rep.Chaos, rep.Pushed, rep.Popped)
 	fmt.Printf("  segments: allocs=%d pooled=%d retired=%d recycled-queues=%d\n",
 		rep.FinalStats.SegmentAllocs, rep.FinalStats.PooledSegments,
 		rep.Retired, rep.FinalStats.RecycledQueues)
+	fmt.Printf("  robustness: canceled-runs=%d task-panics=%d sheds=%d\n",
+		rep.FinalStats.CanceledRuns, rep.FinalStats.TaskPanics, rep.FinalStats.Sheds)
 }

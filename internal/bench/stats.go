@@ -23,6 +23,8 @@ var (
 	statsMu       sync.Mutex
 	statsEnabled  bool
 	statsRuntimes []*swan.Runtime
+	cancelAll     bool
+	cancelCause   error
 )
 
 // CollectRuntimeStats enables or disables runtime registration and
@@ -34,6 +36,23 @@ func CollectRuntimeStats(on bool) {
 	statsMu.Unlock()
 }
 
+// CancelCollected cancels every collected runtime — and every runtime
+// created afterwards — through Runtime.Cancel: parked producers and
+// consumers unwind, in-flight Run calls return the cause, and the
+// experiment loops finish quickly instead of wedging. cmd/paperbench
+// wires SIGINT to it so an interrupted run still drains cleanly and can
+// report final stats. A nil cause means swan.ErrCanceled.
+func CancelCollected(cause error) {
+	statsMu.Lock()
+	cancelAll = true
+	cancelCause = cause
+	rts := append([]*swan.Runtime(nil), statsRuntimes...)
+	statsMu.Unlock()
+	for _, rt := range rts {
+		rt.Cancel(cause)
+	}
+}
+
 // newRuntime builds the Swan runtime an experiment model uses, one per
 // (model, core-count) configuration so that repeated measurements share
 // its runtime-wide segment pool.
@@ -43,7 +62,14 @@ func newRuntime(cores int) *swan.Runtime {
 	if statsEnabled {
 		statsRuntimes = append(statsRuntimes, rt)
 	}
+	dead, cause := cancelAll, cancelCause
 	statsMu.Unlock()
+	if dead {
+		// A CancelCollected shutdown is in progress: runtimes born after
+		// it are condemned too, so the remaining experiments drain
+		// instead of starting fresh work.
+		rt.Cancel(cause)
+	}
 	return rt
 }
 
@@ -107,19 +133,24 @@ func RuntimeStatsReport() string {
 		total.Steals += s.Steals
 		total.Parks += s.Parks
 		total.Blocks += s.Blocks
+		total.CanceledRuns += s.CanceledRuns
+		total.TaskPanics += s.TaskPanics
+		total.Sheds += s.Sheds
 		queues = append(queues, s.Queues...)
 		hypers = append(hypers, s.Hyperobjects...)
 	}
 	fmt.Fprintf(&b, "\ntotal: %d pooled segments, %d segment allocs, %d recycled queues, %d spawns, %d steals, %d parks, %d blocks\n",
 		total.PooledSegments, total.SegmentAllocs, total.RecycledQueues, total.Spawns, total.Steals, total.Parks, total.Blocks)
+	fmt.Fprintf(&b, "robustness: %d canceled runs, %d task panics, %d sheds\n",
+		total.CanceledRuns, total.TaskPanics, total.Sheds)
 	if len(queues) > 0 {
 		b.WriteString("\n### Metered queues\n\n")
-		b.WriteString("| Queue | Bound | Occupancy | High water | Pushed | Popped | Prod blocks | Prod wakes | Cons blocks | Cons wakes |\n")
-		b.WriteString("|-------|-------|-----------|------------|--------|--------|-------------|------------|-------------|------------|\n")
+		b.WriteString("| Queue | Bound | Occupancy | High water | Pushed | Popped | Prod blocks | Prod wakes | Cons blocks | Cons wakes | Sheds |\n")
+		b.WriteString("|-------|-------|-----------|------------|--------|--------|-------------|------------|-------------|------------|-------|\n")
 		for _, q := range queues {
-			fmt.Fprintf(&b, "| %s | %d | %d | %d | %d | %d | %d | %d | %d | %d |\n",
+			fmt.Fprintf(&b, "| %s | %d | %d | %d | %d | %d | %d | %d | %d | %d | %d |\n",
 				q.Name, q.Bound, q.Occupancy, q.HighWater, q.Pushed, q.Popped,
-				q.ProducerBlocks, q.ProducerWakes, q.ConsumerBlocks, q.ConsumerWakes)
+				q.ProducerBlocks, q.ProducerWakes, q.ConsumerBlocks, q.ConsumerWakes, q.Sheds)
 		}
 	}
 	if len(hypers) > 0 {

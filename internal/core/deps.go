@@ -63,7 +63,10 @@ func (d queueDep[T]) Prepare(parent, child *sched.Frame) {
 
 // Wait gates the child before it takes a worker slot: pop-privileged
 // tasks wait for their elder pop siblings (§2.3 rule 3). Push-only tasks
-// start immediately (rules 1, 2 and 4).
+// start immediately (rules 1, 2 and 4). A canceled scope or a poisoned
+// queue wakes the gate; the child then unwinds instead of starting its
+// body (the substrate absorbs the unwind and still runs the completion
+// protocol, so the ticket this child holds is served for its siblings).
 func (d queueDep[T]) Wait(child *sched.Frame) {
 	if d.mode&ModePop == 0 {
 		return
@@ -73,13 +76,25 @@ func (d queueDep[T]) Wait(child *sched.Frame) {
 	if cqv.parentQV.popServed.Load() == cqv.popTicket {
 		return
 	}
+	sc := child.CancelScope()
+	unreg := sc.OnCancel(q.broadcastCons)
+	defer unreg()
 	q.lockCons()
 	q.sleepers++
 	for cqv.parentQV.popServed.Load() != cqv.popTicket {
+		if q.failErr() != nil || sc.Canceled() {
+			break
+		}
 		q.cond.Wait()
 	}
 	q.sleepers--
 	q.consMu.Unlock()
+	if cqv.parentQV.popServed.Load() != cqv.popTicket {
+		if err := q.failErr(); err != nil {
+			q.raiseStop(err)
+		}
+		q.raiseStop(sc.Err())
+	}
 }
 
 // Ready is the non-blocking probe of sched.ReadyDep: push-only tasks are

@@ -98,6 +98,7 @@ type QueueStat struct {
 	ProducerWakes  uint64 // credit releases that found a parked producer
 	ConsumerBlocks uint64 // consumer parks waiting for data (emptyWait)
 	ConsumerWakes  uint64 // pushes that found a parked consumer
+	Sheds          uint64 // values refused by TryPush / timed-out PushTimeout
 }
 
 // flowState is the per-queue flow-control block, allocated only for
@@ -123,6 +124,12 @@ type flowState struct {
 	prodWakes  atomic.Uint64
 	consBlocks atomic.Uint64
 	consWakes  atomic.Uint64
+	sheds      atomic.Uint64
+
+	// failedp aliases the owning queue's poison cell (cancel.go) so the
+	// producer-side park predicates can observe a Fail without a
+	// reference to the generic Queue type. Immutable after construction.
+	failedp *atomic.Pointer[failCell]
 
 	// Producer park state. pushWaiters mirrors Queue.waiters: the
 	// consumer's release probes it with one atomic load and skips prodMu
@@ -153,6 +160,13 @@ func (fl *flowState) acquire(f *sched.Frame, want int64) int64 {
 	if fl.bound > 0 {
 		take = fl.takeCredits(f, want)
 	}
+	fl.meterPush(take)
+	return take
+}
+
+// meterPush records take granted pushes: the occupancy decomposition and
+// the CAS-max high-water mark.
+func (fl *flowState) meterPush(take int64) {
 	occ := int64(fl.pushed.Add(uint64(take)) - fl.popped.Load())
 	for {
 		hw := fl.highWater.Load()
@@ -160,7 +174,6 @@ func (fl *flowState) acquire(f *sched.Frame, want int64) int64 {
 			break
 		}
 	}
-	return take
 }
 
 func (fl *flowState) takeCredits(f *sched.Frame, want int64) int64 {
@@ -178,8 +191,11 @@ func (fl *flowState) takeCredits(f *sched.Frame, want int64) int64 {
 }
 
 // waitForCredit spins briefly and then parks the producer until the
-// budget is replenished. The caller re-runs the CAS loop afterwards:
-// the wake is a hint, not a grant.
+// budget is replenished — or until the queue is poisoned or the frame's
+// scope canceled, in which case the producer unwinds instead of holding
+// its park forever (the wedge a canceled bounded pipeline would
+// otherwise leave behind). The caller re-runs the CAS loop after a
+// credit wake: the wake is a hint, not a grant.
 func (fl *flowState) waitForCredit(f *sched.Frame) {
 	for i := 0; i < creditSpins; i++ {
 		runtime.Gosched()
@@ -187,18 +203,33 @@ func (fl *flowState) waitForCredit(f *sched.Frame) {
 			return
 		}
 	}
+	sc := f.CancelScope()
+	if err := fl.failedErr(); err != nil {
+		panic(sched.AbortUnwind{Err: err})
+	}
+	if sc.Canceled() {
+		panic(sched.CancelUnwind{Err: sc.Err()})
+	}
 	fl.prodBlocks.Add(1)
 	f.Block(func() {
+		unreg := sc.OnCancel(fl.broadcastProd)
+		defer unreg()
 		fl.prodMu.Lock()
 		fl.pushWaiters.Add(1)
 		fl.prodSleepers++
-		for fl.credits.Load() <= 0 {
+		for fl.credits.Load() <= 0 && fl.failedErr() == nil && !sc.Canceled() {
 			fl.prodCond.Wait()
 		}
 		fl.prodSleepers--
 		fl.pushWaiters.Add(-1)
 		fl.prodMu.Unlock()
 	})
+	if err := fl.failedErr(); err != nil {
+		panic(sched.AbortUnwind{Err: err})
+	}
+	if sc.Canceled() {
+		panic(sched.CancelUnwind{Err: sc.Err()})
+	}
 }
 
 // release returns n credits after the consumer advanced the head past n
@@ -250,6 +281,7 @@ func (fl *flowState) snapshot() QueueStat {
 		ProducerWakes:  fl.prodWakes.Load(),
 		ConsumerBlocks: fl.consBlocks.Load(),
 		ConsumerWakes:  fl.consWakes.Load(),
+		Sheds:          fl.sheds.Load(),
 	}
 }
 

@@ -57,10 +57,19 @@ func (q *Queue[T]) BindPush(f *sched.Frame) Pusher[T] {
 // producer that then blocks on another queue of the same pipeline would
 // deadlock it. Bulk transfers amortize the probe safely — see PushSlice.
 func (p *Pusher[T]) Push(v T) {
-	qv := p.qv
+	p.q.checkFailed()
 	if fl := p.q.flow; fl != nil {
-		fl.acquire(qv.vs.Frame, 1) // blocks on an exhausted bound (flow.go)
+		fl.acquire(p.qv.vs.Frame, 1) // blocks on an exhausted bound (flow.go)
 	}
+	p.append1(v)
+}
+
+// append1 is the credit-free tail of a scalar push: segment attach/link
+// plus the consumer wake probe. Callers have already settled the flow
+// decision (blocking acquire, non-blocking TryPush, or a deadline), and
+// nothing below can block, so a push is never torn by an unwind.
+func (p *Pusher[T]) append1(v T) {
+	qv := p.qv
 	if !qv.vs.User.Valid {
 		p.q.attachFreshSegment(qv)
 	}
@@ -95,6 +104,7 @@ func (p *Pusher[T]) PushSlice(vs []T) {
 		return
 	}
 	q, qv := p.q, p.qv
+	q.checkFailed()
 	for len(vs) > 0 {
 		chunk := vs
 		if fl := q.flow; fl != nil {
@@ -155,6 +165,7 @@ func (p *Popper[T]) ensure() {
 // Empty is Queue.Empty through the binding: false as soon as a value is
 // available, true only on permanent emptiness, blocking while undecided.
 func (p *Popper[T]) Empty() bool {
+	p.q.checkFailed()
 	p.ensure()
 	if p.q.reachableData() {
 		return false
@@ -164,10 +175,16 @@ func (p *Popper[T]) Empty() bool {
 
 // Pop is Queue.Pop through the binding: it removes and returns the head
 // value, blocking while the head value has not yet been produced, and
-// panics on a permanently empty queue.
+// panics on a permanently empty queue. On a canceled scope a permanently
+// empty answer (producers unwound early) raises the cancellation unwind
+// instead of the programming-error panic.
 func (p *Popper[T]) Pop() T {
+	p.q.checkFailed()
 	p.ensure()
 	if !p.q.reachableData() && p.q.emptyWait(p.qv.vs.Frame, p.qv) {
+		if sc := p.qv.vs.Frame.CancelScope(); sc.Canceled() {
+			panic(sched.CancelUnwind{Err: sc.Err()})
+		}
 		panic("hyperqueue: pop on permanently empty queue")
 	}
 	v := p.q.headView.Head.pop()

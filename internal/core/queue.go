@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core/hyper"
 	"repro/internal/sched"
@@ -120,6 +121,11 @@ type Queue[T any] struct {
 	// nil check in that case. Immutable after construction.
 	flow *flowState
 
+	// failed is the poison cell (cancel.go): nil while healthy, set once
+	// by Fail. Park predicates and operation entry points load it; the
+	// flow state aliases it for the producer side.
+	failed atomic.Pointer[failCell]
+
 	// pool is the runtime-wide segment pool for this queue's element type
 	// and segment capacity, resolved through the runtime's PoolProvider
 	// at construction. Shared with every other such queue of the runtime.
@@ -209,6 +215,7 @@ func newQueue[T any](f *sched.Frame, segCap int, legacy bool, opts ...QueueOptio
 	q.prov = ProviderOf(f.Runtime())
 	if o.bound > 0 || o.name != "" {
 		q.flow = newFlowState(o.name, o.bound)
+		q.flow.failedp = &q.failed
 		q.prov.registerFlow(q.flow)
 	}
 	q.pool = poolFor[T](q.prov, segCap)
@@ -412,17 +419,33 @@ func (q *Queue[T]) visibleProducerLive(cf *sched.Frame) bool {
 // The fast path is two atomic loads — popTickets is written only by f's
 // own goroutine, and popServed only advances. Execution capacity is
 // released while waiting. Caller must not hold any queue lock.
+// A canceled scope or a poisoned queue wakes the wait (the remaining pop
+// children unwind and serve their tickets promptly in the canceled case);
+// if the role still cannot be acquired the caller unwinds rather than
+// touch the consumer state without it.
 func (q *Queue[T]) acquireConsumer(f *sched.Frame, qv *qviews[T]) {
 	if qv.popServed.Load() != qv.popTickets.Load() {
+		sc := f.CancelScope()
 		f.Block(func() {
+			unreg := sc.OnCancel(q.broadcastCons)
+			defer unreg()
 			q.lockCons()
 			q.sleepers++
 			for qv.popServed.Load() != qv.popTickets.Load() {
+				if q.failErr() != nil || sc.Canceled() {
+					break
+				}
 				q.cond.Wait()
 			}
 			q.sleepers--
 			q.consMu.Unlock()
 		})
+		if qv.popServed.Load() != qv.popTickets.Load() {
+			if err := q.failErr(); err != nil {
+				q.raiseStop(err)
+			}
+			q.raiseStop(sc.Err())
+		}
 	}
 	q.consShard = q.pool.shard(f.WorkerID())
 }
@@ -531,10 +554,32 @@ func (q *Queue[T]) decideEmptyLocked(qv *qviews[T]) (empty bool, violation strin
 // can link the frontier from its own side and the consumer wakes to
 // already-linked data.
 func (q *Queue[T]) emptyWait(f *sched.Frame, qv *qviews[T]) bool {
+	empty, stop := q.emptyWaitStop(f, qv, time.Time{})
+	if stop != nil {
+		q.raiseStop(stop)
+	}
+	return empty
+}
+
+// emptyWaitStop is emptyWait with an explicit stop channel out: a
+// non-nil stop is the reason the wait gave up without an answer — the
+// queue's poison cause, the scope's cancellation cause, or ErrTimeout
+// once the deadline fired (deadline.IsZero() means wait forever).
+// emptyWait converts a stop into the matching unwind; PopTimeout returns
+// it. The deadline timer is created only if the consumer actually parks,
+// so the undecided-but-spinning path stays allocation-free.
+func (q *Queue[T]) emptyWaitStop(f *sched.Frame, qv *qviews[T], deadline time.Time) (isEmpty bool, stop error) {
+	sc := f.CancelScope()
+	if err := q.failErr(); err != nil {
+		return false, err
+	}
+	if sc.Canceled() {
+		return false, sc.Err()
+	}
 	for i := 0; i < emptySpinsQuick; i++ {
 		runtime.Gosched()
 		if q.reachableData() {
-			return false
+			return false, nil
 		}
 	}
 	var empty bool
@@ -548,26 +593,55 @@ func (q *Queue[T]) emptyWait(f *sched.Frame, qv *qviews[T]) bool {
 		if violation != "" {
 			panic(violation)
 		}
-		return empty
+		return empty, nil
 	}
 	q.unlockRegNested()
 	q.consMu.Unlock()
 	for i := emptySpinsQuick; i < emptySpins; i++ {
 		runtime.Gosched()
 		if q.reachableData() {
-			return false
+			return false, nil
 		}
 	}
 	if fl := q.flow; fl != nil {
 		fl.consBlocks.Add(1)
 	}
 	f.Block(func() {
+		unreg := sc.OnCancel(q.broadcastCons)
+		defer unreg()
+		fired := false
+		if !deadline.IsZero() {
+			rem := time.Until(deadline)
+			if rem <= 0 {
+				stop = ErrTimeout
+				return
+			}
+			tm := time.AfterFunc(rem, func() {
+				q.lockCons()
+				fired = true
+				q.cond.Broadcast()
+				q.consMu.Unlock()
+			})
+			defer tm.Stop()
+		}
 		q.lockCons()
 		q.waiters.Add(1)
 		q.parked = qv
 		q.sleepers++
 		for {
 			if q.reachableData() {
+				break
+			}
+			if err := q.failErr(); err != nil {
+				stop = err
+				break
+			}
+			if sc.Canceled() {
+				stop = sc.Err()
+				break
+			}
+			if fired {
+				stop = ErrTimeout
 				break
 			}
 			q.lockRegNested()
@@ -587,7 +661,7 @@ func (q *Queue[T]) emptyWait(f *sched.Frame, qv *qviews[T]) bool {
 	if violation != "" {
 		panic(violation)
 	}
-	return empty
+	return empty, stop
 }
 
 // Empty reports whether the queue is permanently empty for this task: it

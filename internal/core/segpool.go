@@ -198,6 +198,7 @@ func (p *PoolProvider) QueueStats() []QueueStat {
 		agg.ProducerWakes += s.ProducerWakes
 		agg.ConsumerBlocks += s.ConsumerBlocks
 		agg.ConsumerWakes += s.ConsumerWakes
+		agg.Sheds += s.Sheds
 	}
 	return out
 }

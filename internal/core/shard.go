@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/sched"
 )
@@ -44,6 +45,13 @@ type Sharded[I, O any] struct {
 	route *Queue[int32] // router's shard decisions, in arrival order
 	inQ   []*Queue[I]   // per-shard input (bounded)
 	resQ  []*Queue[O]   // per-shard results (bounded)
+
+	// drained closes when the merger task completes — every routed value
+	// merged into Out, or the merger unwound under cancellation/poison.
+	// The close runs in the merger's dep Complete, which the substrate
+	// runs even for tasks whose body was skipped, so Drain never waits on
+	// a task that will not run.
+	drained chan struct{}
 
 	launched bool
 }
@@ -120,6 +128,7 @@ func NewSharded[I, O any](
 		}
 		return New[O](f, opts...)
 	}
+	s.drained = make(chan struct{})
 	s.in = newQ(name(".in"))
 	s.out = newR(name(".out"))
 	s.route = New[int32](f, name(".route")...)
@@ -218,8 +227,8 @@ func (s *Sharded[I, O]) Launch(f *sched.Frame) {
 	// result in arrival order. Every route entry is matched by exactly
 	// one eventual result on that shard (workers are 1-in-1-out), so Pop
 	// blocks only transiently, never on a permanently empty queue.
-	mergerDeps := make([]sched.Dep, 0, n+2)
-	mergerDeps = append(mergerDeps, Pop(s.route), Push(s.out))
+	mergerDeps := make([]sched.Dep, 0, n+3)
+	mergerDeps = append(mergerDeps, Pop(s.route), Push(s.out), doneDep{s.drained})
 	for i := range s.resQ {
 		mergerDeps = append(mergerDeps, Pop(s.resQ[i]))
 	}
@@ -235,4 +244,80 @@ func (s *Sharded[I, O]) Launch(f *sched.Frame) {
 			out.Push(poppers[sh].Pop())
 		}
 	}, mergerDeps...)
+}
+
+// doneDep closes its channel in Complete — a completion beacon that
+// fires whether the task's body ran, unwound, or was skipped by a
+// canceled scope. Always Ready, so it does not push the task onto the
+// gated-dep Block path.
+type doneDep struct{ ch chan struct{} }
+
+func (d doneDep) Prepare(parent, child *sched.Frame)  {}
+func (d doneDep) Wait(child *sched.Frame)             {}
+func (d doneDep) Ready(child *sched.Frame) bool       { return true }
+func (d doneDep) Complete(parent, child *sched.Frame) { close(d.ch) }
+
+// Drained reports without blocking whether the merger has completed.
+func (s *Sharded[I, O]) Drained() bool {
+	select {
+	case <-s.drained:
+		return true
+	default:
+		return false
+	}
+}
+
+// Drain waits — releasing execution capacity, like any queue wait — until
+// the merger task has completed, i.e. every value routed so far has been
+// merged into Out (or the pipeline unwound under cancellation/poison),
+// and returns nil. It returns ErrTimeout if the deadline d fires first,
+// and the cancellation cause if the calling frame's scope is canceled
+// while waiting. It is the graceful-teardown rendezvous: push the final
+// values, Drain with a deadline, and escalate to Fail (or a scope cancel)
+// if the deadline fires. The completed-already fast path takes no lock
+// and allocates nothing. Drain may be called from any task of the run
+// (concurrently, repeatedly); it does not require privileges on the
+// fan-out's queues.
+func (s *Sharded[I, O]) Drain(f *sched.Frame, d time.Duration) error {
+	if !s.launched {
+		panic("swan: Sharded.Drain before Launch")
+	}
+	select {
+	case <-s.drained:
+		return nil
+	default:
+	}
+	sc := f.CancelScope()
+	var err error
+	f.Block(func() {
+		cancelCh := make(chan struct{})
+		unreg := sc.OnCancel(func() { close(cancelCh) })
+		defer unreg()
+		tm := time.NewTimer(d)
+		defer tm.Stop()
+		select {
+		case <-s.drained:
+		case <-cancelCh:
+			err = sc.Err()
+		case <-tm.C:
+			err = ErrTimeout
+		}
+	})
+	return err
+}
+
+// Fail poisons every queue of the fan-out with err (nil means
+// ErrQueueFailed): the router, shard workers and merger — wherever
+// parked, including credit parks on the bounded per-shard queues — wake
+// and unwind, the scope of the run they belong to is canceled with err,
+// and Drain callers see the merger complete. It is the hard-teardown
+// counterpart of Drain for a fan-out whose consumer is gone.
+func (s *Sharded[I, O]) Fail(err error) {
+	s.in.Fail(err)
+	s.route.Fail(err)
+	s.out.Fail(err)
+	for i := range s.inQ {
+		s.inQ[i].Fail(err)
+		s.resQ[i].Fail(err)
+	}
 }

@@ -151,8 +151,14 @@ type Runtime struct {
 	tokens chan struct{}
 	pool   pool
 
-	panicMu  sync.Mutex
-	panicVal any // first task panic, re-raised by Run
+	// Cancellation state (cancel.go): the scopes of in-flight Runs, the
+	// terminal runtime-wide cancellation cause set by Runtime.Cancel, and
+	// the robustness counters (both policies).
+	cancelMu     sync.Mutex
+	rtErr        error
+	scopes       map[*CancelScope]struct{}
+	canceledRuns atomic.Uint64
+	taskPanics   atomic.Uint64
 
 	// sharedMu/shared back Shared: runtime-scoped singletons keyed by
 	// client-chosen keys (the hyperqueue's segment-pool provider lives
@@ -181,16 +187,6 @@ func (rt *Runtime) Shared(key any, create func() any) any {
 	v := create()
 	rt.shared[key] = v
 	return v
-}
-
-// recordPanic stores the first panic raised by any task; Run re-raises
-// it after the task tree has quiesced.
-func (rt *Runtime) recordPanic(v any) {
-	rt.panicMu.Lock()
-	if rt.panicVal == nil {
-		rt.panicVal = v
-	}
-	rt.panicMu.Unlock()
 }
 
 // New returns a runtime with the given number of workers (minimum 1),
@@ -244,19 +240,32 @@ func (rt *Runtime) releaseToken() { rt.tokens <- struct{}{} }
 //
 // A panic inside any task is captured so the rest of the task tree can
 // quiesce (dependences are still released — values a producer pushed
-// before panicking remain visible, and consumers are not deadlocked),
-// and the first such panic is re-raised by Run.
-func (rt *Runtime) Run(fn func(*Frame)) {
+// before panicking remain visible, and consumers are not deadlocked);
+// it also cancels the run's scope, so sibling tasks stop at their next
+// blocking point instead of running to completion. The first such panic
+// is re-raised by Run after the tree quiesces.
+//
+// Run returns nil on clean completion, and the cancellation cause when
+// the run's scope was canceled — by Runtime.Cancel, by the run's own
+// Frame.CancelScope, or by a queue poisoned with Fail (whose error
+// becomes the cause). A canceled run still quiesces fully before Run
+// returns: every task's completion protocol runs, so views fold and
+// pool accounting balances.
+func (rt *Runtime) Run(fn func(*Frame)) error {
 	root := newFrame(rt, nil)
+	scope := rt.beginRun()
+	root.scope = scope
 	if rt.policy == PolicyGoroutine {
 		rt.acquire()
 		func() {
 			defer func() {
 				if r := recover(); r != nil {
-					rt.recordPanic(r)
+					root.absorbTaskPanic(r)
 				}
 			}()
-			fn(root)
+			if !scope.Canceled() {
+				fn(root)
+			}
 		}()
 		root.Sync()
 		rt.release()
@@ -272,13 +281,7 @@ func (rt *Runtime) Run(fn func(*Frame)) {
 		rt.pool.blockEnd()
 		rt.pool.runEnd()
 	}
-	rt.panicMu.Lock()
-	v := rt.panicVal
-	rt.panicVal = nil
-	rt.panicMu.Unlock()
-	if v != nil {
-		panic(v)
-	}
+	return rt.endRun(scope)
 }
 
 // Frame is one node of the spawn tree: the runtime context of a single
@@ -291,6 +294,12 @@ type Frame struct {
 	parent *Frame
 	label  []int32
 	nspawn int32
+
+	// scope is the frame's cancellation domain, inherited from the parent
+	// at spawn; Run sets the root's, ScopedCall swaps in a sub-scope.
+	// Written only before the frame's task can observe it (at newFrame or
+	// at the top of the ScopedCall wrapper body), read by park sites.
+	scope *CancelScope
 
 	// worker is the worker currently executing this frame's task, set by
 	// the stealing substrate for the duration of the task. inBlock marks
@@ -326,6 +335,7 @@ func newFrame(rt *Runtime, parent *Frame) *Frame {
 	f := &Frame{rt: rt, parent: parent}
 	f.cond = sync.NewCond(&f.mu)
 	if parent != nil {
+		f.scope = parent.scope
 		f.label = append(append(make([]int32, 0, len(parent.label)+1), parent.label...), parent.nspawn)
 	}
 	return f
@@ -373,12 +383,16 @@ func (f *Frame) IsAncestorOf(g *Frame) bool {
 // compensating worker can drain the deques; under PolicyGoroutine it
 // releases the slot semaphore. It must only be called from inside a
 // running task, on that task's own frame.
+// Block is panic-safe: the capacity bookkeeping is restored by defers, so
+// a wait that unwinds (a park site raising CancelUnwind/AbortUnwind after
+// observing cancellation or a poisoned queue) leaves the token and
+// compensation accounting balanced.
 func (f *Frame) Block(wait func()) {
 	rt := f.rt
 	if rt.policy == PolicyGoroutine {
 		rt.release()
+		defer rt.acquire()
 		wait()
-		rt.acquire()
 		return
 	}
 	if f.inBlock || f.worker == nil {
@@ -390,10 +404,12 @@ func (f *Frame) Block(wait func()) {
 	f.inBlock = true
 	rt.releaseToken()
 	rt.pool.blockBegin()
+	defer func() {
+		rt.pool.blockEnd()
+		rt.acquireToken()
+		f.inBlock = false
+	}()
 	wait()
-	rt.pool.blockEnd()
-	rt.acquireToken()
-	f.inBlock = false
 }
 
 // Dep is a dependence declared at spawn time. The runtime drives each dep
@@ -565,20 +581,37 @@ func (f *Frame) publishBatch(ts []*task) {
 
 // runTaskGoroutine is the PolicyGoroutine execution path: the seed
 // scheduler's goroutine-per-task protocol, kept as the ablation baseline.
+// A canceled scope skips the dep gates and the body (their unwinds are
+// absorbed the same way), but the sync and completion protocol always
+// runs, so the parent's live-child accounting and the queue view deposits
+// stay balanced across an abort.
 func (rt *Runtime) runTaskGoroutine(t *task) {
 	c := t.frame
-	for _, d := range t.deps {
-		d.Wait(c)
-	}
-	rt.acquire()
-	func() {
-		defer func() {
-			if r := recover(); r != nil {
-				rt.recordPanic(r)
+	skip := c.scope.Canceled()
+	if !skip {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					c.absorbTaskPanic(r)
+				}
+			}()
+			for _, d := range t.deps {
+				d.Wait(c)
 			}
 		}()
-		t.body(c)
-	}()
+		skip = c.scope.Canceled()
+	}
+	rt.acquire()
+	if !skip {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					c.absorbTaskPanic(r)
+				}
+			}()
+			t.body(c)
+		}()
+	}
 	c.Sync()
 	rt.release()
 	t.finish()

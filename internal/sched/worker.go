@@ -35,8 +35,10 @@ func (t *task) finish() {
 	}
 }
 
-// Stats is a snapshot of scheduler counters (PolicySteal only; the
-// goroutine substrate reports zeros).
+// Stats is a snapshot of scheduler counters. The deque/steal counters
+// are PolicySteal only (the goroutine substrate reports zeros there);
+// CanceledRuns and TaskPanics are runtime-level and count under both
+// substrates.
 type Stats struct {
 	Spawns         uint64 // tasks pushed onto deques
 	Steals         uint64 // successful steal sweeps from a victim deque
@@ -45,12 +47,17 @@ type Stats struct {
 	Blocks         uint64 // Block regions entered (capacity released)
 	WorkersStarted uint64 // worker goroutines ever started
 	Blocked        int    // tasks currently inside a Block region (gauge)
+	CanceledRuns   uint64 // Runs that returned a cancellation (or re-raised a panic)
+	TaskPanics     uint64 // real task panics recorded (sentinel unwinds excluded)
 }
 
 // Stats reports a snapshot of the runtime's scheduler counters.
 func (rt *Runtime) Stats() Stats {
 	if rt.policy == PolicyGoroutine {
-		return Stats{}
+		return Stats{
+			CanceledRuns: rt.canceledRuns.Load(),
+			TaskPanics:   rt.taskPanics.Load(),
+		}
 	}
 	p := &rt.pool
 	p.mu.Lock()
@@ -64,6 +71,8 @@ func (rt *Runtime) Stats() Stats {
 		Blocks:         p.stats.Blocks.Load(),
 		WorkersStarted: p.stats.WorkersStarted.Load(),
 		Blocked:        blocked,
+		CanceledRuns:   rt.canceledRuns.Load(),
+		TaskPanics:     rt.taskPanics.Load(),
 	}
 }
 
@@ -380,38 +389,52 @@ func (p *pool) loop(w *worker) {
 // implicit sync, dep completions, parent notification. The caller holds a
 // run token; any blocking inside (gated deps, Sync, queue waits) releases
 // it through Frame.Block.
+//
+// The recover spans the dep gates as well as the body: a gate parked on a
+// queue of a canceled scope unwinds with CancelUnwind, and that unwind
+// must be absorbed exactly like one from the body. A task whose scope is
+// already canceled skips gates and body outright — the fast path of
+// teardown — but the implicit sync and the completion protocol always
+// run, so parents sync, views deposit, and tickets advance even while a
+// pipeline is being torn down.
 func (p *pool) runTask(w *worker, t *task) {
 	c := t.frame
 	c.worker = w
-	if len(t.deps) > 0 {
-		ready := true
-		for _, d := range t.deps {
-			rd, ok := d.(ReadyDep)
-			if !ok || !rd.Ready(c) {
-				ready = false
-				break
-			}
-		}
-		if ready {
-			// All gates are open (and, per the ReadyDep contract, stay
-			// open): run the Wait protocol without giving up the token.
-			for _, d := range t.deps {
-				d.Wait(c)
-			}
-		} else {
-			c.Block(func() {
-				for _, d := range t.deps {
-					d.Wait(c)
-				}
-			})
-		}
-	}
 	func() {
 		defer func() {
 			if r := recover(); r != nil {
-				p.rt.recordPanic(r)
+				c.absorbTaskPanic(r)
 			}
 		}()
+		if c.scope.Canceled() {
+			return
+		}
+		if len(t.deps) > 0 {
+			ready := true
+			for _, d := range t.deps {
+				rd, ok := d.(ReadyDep)
+				if !ok || !rd.Ready(c) {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				// All gates are open (and, per the ReadyDep contract, stay
+				// open): run the Wait protocol without giving up the token.
+				for _, d := range t.deps {
+					d.Wait(c)
+				}
+			} else {
+				c.Block(func() {
+					for _, d := range t.deps {
+						d.Wait(c)
+					}
+				})
+			}
+		}
+		if c.scope.Canceled() {
+			return
+		}
 		t.body(c)
 	}()
 	c.Sync()

@@ -49,6 +49,7 @@ type Config struct {
 	QcheckQueues int // queue count for embedded qcheck programs
 	ShardedEvery int // one qcheck.GenerateSharded fan-out
 	HandoffEvery int // one bounded handoff (producer blocks on credits)
+	ChaosEvery   int // one chaos kill (canceled wedge, poisoned wedge, or deadline/shed probe)
 
 	// Window-granularity knobs.
 	RebuildEveryWindows int // tear down and rebuild the runtime (pools carried over)
@@ -58,7 +59,10 @@ type Config struct {
 // presets are the registered configurations. "ci" is sized for the PR
 // gate (small windows, frequent sweeps), "default" for interactive runs,
 // "heavy" for the nightly and multi-hour `make soak` (long windows,
-// tiny segments, big bursts — maximum pool churn).
+// tiny segments, big bursts — maximum pool churn), and "chaos" layers
+// the kill stripe — canceled wedges, poisoned queues, deadline/shed
+// probes — over the ci geometry. Existing names keep their exact
+// semantics (replay identity); chaos is a new name, not a change to ci.
 var presets = []Config{
 	{
 		Name:         "ci",
@@ -76,6 +80,24 @@ var presets = []Config{
 
 		RebuildEveryWindows: 4,
 		ReplayEveryWindows:  4,
+	},
+	{
+		Name:         "chaos",
+		OpsPerWindow: 2000,
+		SegCap:       16,
+		MaxQueues:    5,
+		MaxBurst:     32,
+		Bounds:       []int{0, 0, 7, 64, 256},
+		SweepEvery:   200,
+		AuditEvery:   300,
+		QcheckEvery:  700,
+		QcheckQueues: 2,
+		ShardedEvery: 1500,
+		HandoffEvery: 500,
+		ChaosEvery:   90,
+
+		RebuildEveryWindows: 4,
+		ReplayEveryWindows:  3,
 	},
 	{
 		Name:         "default",

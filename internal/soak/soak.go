@@ -35,15 +35,30 @@ package soak
 import (
 	"crypto/sha256"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash"
 	"sort"
 	"strings"
+	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/qcheck"
 	"repro/internal/rng"
 	"repro/swan"
+)
+
+// Fault kinds for Options.FaultStep: the deliberate bug classes the
+// negative smoke injects to prove the harness still detects failures.
+const (
+	// FaultValue injects a model-invisible value; the drain compare must
+	// catch it.
+	FaultValue = "value"
+	// FaultCancel cancels the window's root scope; the next blocking op
+	// must unwind and Run must report the cancellation, which the
+	// harness converts into a window failure.
+	FaultCancel = "cancel"
 )
 
 // Options configures a Runner beyond the step-mix Config.
@@ -52,11 +67,14 @@ type Options struct {
 	Workers int
 	// Policy selects the scheduling substrate.
 	Policy swan.SpawnPolicy
-	// FaultStep, when > 0, injects a model-invisible value at that
-	// global 1-based step: the harness must detect it (a drain compare
-	// fails) and the failure must replay deterministically. This is the
-	// harness's own smoke test — a fuzzer that cannot fail finds nothing.
+	// FaultStep, when > 0, injects a deliberate bug at that global
+	// 1-based step: the harness must detect it and the failure must
+	// replay deterministically. This is the harness's own smoke test — a
+	// fuzzer that cannot fail finds nothing.
 	FaultStep int64
+	// FaultKind selects the injected bug class (FaultValue, FaultCancel).
+	// Empty means FaultValue.
+	FaultKind string
 	// Progress, when set, receives occasional one-line status reports.
 	Progress func(format string, args ...any)
 }
@@ -74,9 +92,13 @@ type Report struct {
 	Qchecks  int64 // embedded qcheck programs (all matched their oracle)
 	Shardeds int64 // sharded fan-outs (all matched the serial elision)
 	Handoffs int64 // bounded handoffs (producer blocked on credits)
+	Chaos    int64 // chaos kills (canceled wedges, poisoned wedges, deadline/shed probes)
 	Pushed   int64 // values pushed through live working-set queues
 	Popped   int64 // values popped from live working-set queues
 	Retired  uint64
+	// Interrupted reports the run ended early via Runner.Stop (SIGINT):
+	// the in-flight window was canceled and drained, not failed.
+	Interrupted bool
 	// FinalStats snapshots the long-lived runtime after the last window.
 	FinalStats swan.RuntimeStats
 }
@@ -85,16 +107,17 @@ type Report struct {
 // replay it: the window is re-run by seeding a fresh one-window soak
 // with the failing window's wseed.
 type Failure struct {
-	Config  string
-	Policy  string
-	Workers int
-	Window  int64  // index of the failing window in the original run
-	WSeed   uint64 // the window's seed — the replay seed
-	Steps   int64  // the window's length — the replay step count
-	Step    int64  // global step at failure (best effort for panics)
-	Fault   int64  // in-window fault step, 0 if none was injected
-	Msg     string
-	OpLog   string // the failing window's op log, up to the failure
+	Config    string
+	Policy    string
+	Workers   int
+	Window    int64  // index of the failing window in the original run
+	WSeed     uint64 // the window's seed — the replay seed
+	Steps     int64  // the window's length — the replay step count
+	Step      int64  // global step at failure (best effort for panics)
+	Fault     int64  // in-window fault step, 0 if none was injected
+	FaultKind string // injected bug class (FaultValue, FaultCancel); "" if none
+	Msg       string
+	OpLog     string // the failing window's op log, up to the failure
 }
 
 // FailLine renders the quickcheck-style one-line failure record followed
@@ -106,6 +129,9 @@ func (fl *Failure) FailLine() string {
 		fl.Config, fl.Policy, fl.Workers, fl.WSeed, fl.Steps)
 	if fl.Fault > 0 {
 		cmd += fmt.Sprintf(" -fault %d", fl.Fault)
+		if fl.FaultKind != "" && fl.FaultKind != FaultValue {
+			cmd += fmt.Sprintf(" -faultkind %s", fl.FaultKind)
+		}
 	}
 	return fmt.Sprintf(
 		"FAIL soak config=%s policy=%s window=%d wseed=%d step=%d: %s\nreplay: %s",
@@ -141,6 +167,42 @@ type Runner struct {
 	// so the audit balance stays closed across the provider's whole life
 	// (the pool is carried across runtime rebuilds).
 	retired uint64
+
+	// Stop support: current is whichever runtime a window is executing
+	// on right now (the long-lived one, or a replay's), so an external
+	// Stop can reach its cancel scope.
+	mu      sync.Mutex
+	current *swan.Runtime
+	stopped bool
+}
+
+// Stop cancels the in-flight window through the runtime's cancellation
+// API and makes Run return cleanly once it unwinds: parked producers
+// and consumers wake and unwind, views fold, and the report (including
+// the final stats snapshot) stays valid at the interrupted point. Safe
+// to call from any goroutine — a signal handler, typically.
+func (r *Runner) Stop() {
+	r.mu.Lock()
+	r.stopped = true
+	rt := r.current
+	r.mu.Unlock()
+	if rt != nil {
+		rt.Cancel(nil)
+	}
+}
+
+// Stopped reports whether Stop has been called.
+func (r *Runner) Stopped() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stopped
+}
+
+func (r *Runner) setCurrent(rt *swan.Runtime) *swan.Runtime {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.current = rt
+	return rt
 }
 
 // New returns a Runner for the given config and options. The config must
@@ -152,6 +214,14 @@ func New(cfg Config, opt Options) (*Runner, error) {
 	if opt.Workers <= 0 {
 		opt.Workers = 4
 	}
+	switch opt.FaultKind {
+	case "":
+		opt.FaultKind = FaultValue
+	case FaultValue, FaultCancel:
+	default:
+		return nil, fmt.Errorf("unknown fault kind %q (want %s or %s)",
+			opt.FaultKind, FaultValue, FaultCancel)
+	}
 	return &Runner{cfg: cfg, opt: opt}, nil
 }
 
@@ -161,9 +231,13 @@ func New(cfg Config, opt Options) (*Runner, error) {
 // duration.
 func (r *Runner) Run(seed uint64, steps int64) (Report, *Failure) {
 	swan.SetQueueDebugChecks(true)
-	rt := swan.NewWithPolicy(r.opt.Workers, r.opt.Policy)
+	rt := r.setCurrent(swan.NewWithPolicy(r.opt.Workers, r.opt.Policy))
 	var done, window int64
 	for done < steps {
+		if r.Stopped() {
+			r.rep.Interrupted = true
+			break
+		}
 		n := int64(r.cfg.OpsPerWindow)
 		if steps-done < n {
 			n = steps - done
@@ -175,6 +249,12 @@ func (r *Runner) Run(seed uint64, steps int64) (Report, *Failure) {
 		}
 		res, fail := r.runWindow(rt, &r.retired, wseed, n, fault)
 		if fail != nil {
+			if r.Stopped() {
+				// Stop canceled the window mid-flight: a clean interrupt,
+				// not an oracle violation.
+				r.rep.Interrupted = true
+				return r.report(rt), nil
+			}
 			r.decorate(fail, window, wseed, n, done)
 			return r.report(rt), fail
 		}
@@ -184,10 +264,15 @@ func (r *Runner) Run(seed uint64, steps int64) (Report, *Failure) {
 			// digest folds every value every oracle saw, so a single
 			// reordered or corrupted element diverges it.
 			var retired2 uint64
-			res2, fail2 := r.runWindow(swan.NewWithPolicy(r.opt.Workers, r.opt.Policy),
+			res2, fail2 := r.runWindow(r.setCurrent(swan.NewWithPolicy(r.opt.Workers, r.opt.Policy)),
 				&retired2, wseed, n, fault)
+			r.setCurrent(rt)
 			switch {
 			case fail2 != nil:
+				if r.Stopped() {
+					r.rep.Interrupted = true
+					return r.report(rt), nil
+				}
 				fail2.Msg = "replay of a clean window failed: " + fail2.Msg
 				r.decorate(fail2, window, wseed, n, done)
 				return r.report(rt), fail2
@@ -212,7 +297,7 @@ func (r *Runner) Run(seed uint64, steps int64) (Report, *Failure) {
 			// segment pools — so pooled-segment reuse, and the audit
 			// balance, span rebuild boundaries.
 			old := rt
-			rt = swan.NewWithPolicy(r.opt.Workers, r.opt.Policy)
+			rt = r.setCurrent(swan.NewWithPolicy(r.opt.Workers, r.opt.Policy))
 			core.CarryProvider(old, rt)
 			r.rep.Rebuilds++
 		}
@@ -261,6 +346,9 @@ func (r *Runner) decorate(fail *Failure, window int64, wseed uint64, n, done int
 	fail.WSeed = wseed
 	fail.Steps = n
 	fail.Step += done
+	if fail.Fault > 0 {
+		fail.FaultKind = r.opt.FaultKind
+	}
 }
 
 type windowResult struct {
@@ -292,10 +380,20 @@ func (r *Runner) runWindow(rt *swan.Runtime, retired *uint64, wseed uint64, step
 			fail = &Failure{Step: w.step, Fault: fault, Msg: msg, OpLog: w.renderLog()}
 		}
 	}()
-	rt.Run(func(f *swan.Frame) {
+	if err := rt.Run(func(f *swan.Frame) {
 		w.f = f
 		w.run()
-	})
+	}); err != nil {
+		// The window's root scope was canceled — either the injected
+		// cancel fault or a genuine bug. Either way the window did not
+		// complete its oracles, so it is a failure.
+		return res, &Failure{
+			Step:  w.step,
+			Fault: fault,
+			Msg:   fmt.Sprintf("window Run ended canceled: %v", err),
+			OpLog: w.renderLog(),
+		}
+	}
 	w.h.Sum(res.digest[:0])
 	return res, nil
 }
@@ -395,6 +493,9 @@ func (w *window) run() {
 		}
 		if e := int64(cfg.ShardedEvery); e > 0 && w.step%e == 0 {
 			w.opSharded()
+		}
+		if e := int64(cfg.ChaosEvery); e > 0 && w.step%e == 0 {
+			w.opChaos()
 		}
 		if e := int64(cfg.SweepEvery); e > 0 && w.step%e == 0 {
 			w.opSweep()
@@ -803,6 +904,139 @@ func (w *window) opHandoff() {
 	w.r.rep.Handoffs++
 }
 
+// opChaos kills one randomly chosen live mini-pipeline: a ScopedCall
+// wedge canceled mid-flight, the same wedge poisoned through Queue.Fail,
+// or a deterministic deadline/shed probe. Each variant ends at a
+// quiesced point with its abandoned chain segments counted into the
+// retired tally, so the pool audit stays exact across the abort.
+func (w *window) opChaos() {
+	switch w.rng.Intn(3) {
+	case 0:
+		w.opCancel()
+	case 1:
+		w.opPoison()
+	default:
+		w.opDeadline()
+	}
+	w.r.rep.Chaos++
+}
+
+// wedge builds the canonical cancellation target inside a fresh cancel
+// sub-scope — a producer child credit-parked on bounded qa, a consumer
+// child parked in Pop on empty qb (the producer's unreached Push
+// privilege on qb keeps the emptiness undecided) — then kills it with
+// kill and returns the ScopedCall error. How far the producer got before
+// the kill is scheduling-dependent, so nothing the wedge transfers is
+// folded into the digest; only the kill's error identity is checked.
+func (w *window) wedge(kill func(c *swan.Frame, qa *swan.Queue[uint64])) error {
+	b := 1 + w.rng.Intn(3)
+	vals := w.draw(4 * (b + 1))
+	var chains uint64
+	err := w.f.ScopedCall(func(c *swan.Frame) {
+		qa := swan.NewQueueWithCapacity[uint64](c, w.r.cfg.SegCap, swan.Bounded(b))
+		qb := swan.NewQueueWithCapacity[uint64](c, w.r.cfg.SegCap)
+		c.Spawn(func(p *swan.Frame) {
+			pu := qa.BindPush(p)
+			for _, v := range vals {
+				pu.Push(v) // wedges on credits at b values: nothing pops qa
+			}
+			qb.Push(p, 1) // never reached
+		}, swan.Push(qa), swan.Push(qb))
+		c.Spawn(func(p *swan.Frame) {
+			qb.Pop(p) // parks: the producer never reaches its qb push
+		}, swan.Pop(qb))
+		kill(c, qa)
+		c.Sync()
+		chains = qa.DebugChainSegments(c) + qb.DebugChainSegments(c)
+	})
+	*w.retired += chains
+	return err
+}
+
+// opCancel cancels a wedged pipeline's scope: the credit-parked producer
+// and the parked consumer must both unwind promptly, the sub-scope must
+// quiesce without touching the window's own scope, and ScopedCall must
+// report ErrCanceled.
+func (w *window) opCancel() {
+	err := w.wedge(func(c *swan.Frame, _ *swan.Queue[uint64]) {
+		c.CancelScope().Cancel(nil)
+	})
+	if !errors.Is(err, swan.ErrCanceled) {
+		w.failf("cancel wedge: ScopedCall error = %v, want ErrCanceled", err)
+	}
+	w.tag("cancel")
+	w.logf("chaos cancel wedge")
+}
+
+// opPoison poisons the wedged pipeline's bounded queue instead: the
+// credit-parked producer wakes with the failure, which cancels the
+// sub-scope and frees the parked consumer; ScopedCall reports the
+// poison error.
+func (w *window) opPoison() {
+	err := w.wedge(func(_ *swan.Frame, qa *swan.Queue[uint64]) {
+		qa.Fail(nil)
+	})
+	if !errors.Is(err, swan.ErrQueueFailed) {
+		w.failf("poison wedge: ScopedCall error = %v, want ErrQueueFailed", err)
+	}
+	w.tag("poison")
+	w.logf("chaos poison wedge")
+}
+
+// opDeadline probes the shed and deadline surface with a fully
+// deterministic script: TryPush against a full bound must refuse (a
+// shed), PushTimeout against it must report ErrTimeout (another shed),
+// PopTimeout must time out while the only producer is credit-parked
+// elsewhere, then deliver every value once the credit cycle unblocks,
+// and must report ErrEmpty once the queue's emptiness is settled.
+func (w *window) opDeadline() {
+	const short = 2 * time.Millisecond
+	const long = 10 * time.Second // generous: reached only on a bug
+	vs := w.draw(3)
+	var chains uint64
+	w.f.Call(func(c *swan.Frame) {
+		qa := swan.NewQueueWithCapacity[uint64](c, w.r.cfg.SegCap, swan.Bounded(1))
+		qb := swan.NewQueueWithCapacity[uint64](c, w.r.cfg.SegCap, swan.Bounded(1))
+		pua := qa.BindPush(c)
+		if !pua.TryPush(vs[0]) {
+			w.failf("deadline: TryPush into an empty bounded queue refused")
+		}
+		if pua.TryPush(vs[0]) {
+			w.failf("deadline: TryPush past the bound accepted")
+		}
+		if err := pua.PushTimeout(vs[0], short); !errors.Is(err, swan.ErrTimeout) {
+			w.failf("deadline: PushTimeout on a full queue = %v, want ErrTimeout", err)
+		}
+		c.Spawn(func(p *swan.Frame) {
+			qa.Push(p, vs[1]) // credit-parked until the root pops vs[0]
+			qb.Push(p, vs[2])
+		}, swan.Push(qa), swan.Push(qb))
+		pob := qb.BindPop(c)
+		if _, err := pob.PopTimeout(short); !errors.Is(err, swan.ErrTimeout) {
+			w.failf("deadline: PopTimeout with a parked producer = %v, want ErrTimeout", err)
+		}
+		poa := qa.BindPop(c)
+		for i, want := range []uint64{vs[0], vs[1]} {
+			got, err := poa.PopTimeout(long)
+			if err != nil || got != want {
+				w.failf("deadline: qa value %d = %d (err %v), want %d", i, got, err, want)
+			}
+		}
+		if got, err := pob.PopTimeout(long); err != nil || got != vs[2] {
+			w.failf("deadline: qb value = %d (err %v), want %d", got, err, vs[2])
+		}
+		c.Sync()
+		if _, err := poa.PopTimeout(short); !errors.Is(err, swan.ErrEmpty) {
+			w.failf("deadline: PopTimeout on settled emptiness = %v, want ErrEmpty", err)
+		}
+		chains = qa.DebugChainSegments(c) + qb.DebugChainSegments(c)
+	})
+	*w.retired += chains
+	w.d8(vs...)
+	w.tag("deadline")
+	w.logf("chaos deadline probe")
+}
+
 // opQcheck embeds one randomly generated qcheck program as a child of
 // the window's root and checks it against its serial-elision oracle.
 func (w *window) opQcheck() {
@@ -875,9 +1109,22 @@ func (w *window) opAudit() {
 	w.r.rep.Audits++
 }
 
-// opFault injects the deliberate bug: a queue holding a value no model
-// records. The window-end drain compare must catch it.
+// opFault injects the deliberate bug. FaultValue plants a queue holding
+// a value no model records; the window-end drain compare must catch it.
+// FaultCancel cancels the window's root scope and immediately drives a
+// blocking Pop into it: the pop must unwind (a canceled scope may not
+// decide emptiness), Run must return the cancellation, and runWindow
+// must convert that into a window failure — deterministically at this
+// step.
 func (w *window) opFault() {
+	if w.r.opt.FaultKind == FaultCancel {
+		w.logf("fault: window scope canceled")
+		w.f.CancelScope().Cancel(nil)
+		q := swan.NewQueueWithCapacity[uint64](w.f, w.r.cfg.SegCap)
+		q.Pop(w.f) // unwinds with the cancellation
+		w.failf("fault: blocking Pop on a canceled scope returned")
+		return
+	}
 	q := swan.NewQueueWithCapacity[uint64](w.f, w.r.cfg.SegCap)
 	q.Push(w.f, 0xfa017ed)
 	w.nq++

@@ -48,6 +48,12 @@ var metricRows = []metricRow{
 		func(s RuntimeStats) float64 { return float64(s.Blocks) }, nil, nil},
 	{"swan_sched_blocked", "gauge", "Tasks currently inside a Block region.",
 		func(s RuntimeStats) float64 { return float64(s.Blocked) }, nil, nil},
+	{"swan_canceled_total", "counter", "Run invocations that ended canceled (Runtime.Cancel, scope cancel, task panic).",
+		func(s RuntimeStats) float64 { return float64(s.CanceledRuns) }, nil, nil},
+	{"swan_sched_panics_total", "counter", "Task bodies that panicked (each panic cancels its run's scope).",
+		func(s RuntimeStats) float64 { return float64(s.TaskPanics) }, nil, nil},
+	{"swan_shed_total", "counter", "Values refused by TryPush or timed-out PushTimeout, across all metered queues.",
+		func(s RuntimeStats) float64 { return float64(s.Sheds) }, nil, nil},
 	{"swan_queue_bound", "gauge", "Element budget of the queue (0 = unbounded, metering only).",
 		nil, func(q QueueStats) (float64, bool) { return float64(q.Bound), true }, nil},
 	{"swan_queue_occupancy", "gauge", "Values currently buffered in the queue (pushed - popped).",
@@ -66,6 +72,8 @@ var metricRows = []metricRow{
 		nil, func(q QueueStats) (float64, bool) { return float64(q.ConsumerBlocks), true }, nil},
 	{"swan_queue_consumer_wakes_total", "counter", "Pushes that found a parked consumer.",
 		nil, func(q QueueStats) (float64, bool) { return float64(q.ConsumerWakes), true }, nil},
+	{"swan_queue_sheds_total", "counter", "Values this queue refused via TryPush or timed-out PushTimeout.",
+		nil, func(q QueueStats) (float64, bool) { return float64(q.Sheds), true }, nil},
 	{"swan_hyperobject_views_total", "counter", "Views created on the hyperobject (owner + spawned writers).",
 		nil, nil, func(h HyperobjectStats) float64 { return float64(h.Views) }},
 	{"swan_hyperobject_merges_total", "counter", "Serial-order view merges performed by the hyperobject.",

@@ -25,6 +25,12 @@ import (
 //	s.Launch(f)                           // 2. router/workers/merger
 //	f.Spawn(consumer, swan.Pop(s.Out()))  // 3. egress consumer last
 //	f.Sync()
+//
+// Teardown: Drain(f, d) waits up to d for the merger to retire (the
+// whole fan-out has quiesced), returning ErrTimeout or the scope's
+// cancel cause if it fires first; Drained is the non-blocking probe;
+// Fail(err) poisons every queue in the construction so a wedged
+// fan-out's producers and consumers unwind instead of parking forever.
 type Sharded[I, O any] = core.Sharded[I, O]
 
 // ShardConfig configures NewSharded: shard count, per-shard queue bound

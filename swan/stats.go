@@ -26,6 +26,9 @@ type RuntimeStats struct {
 	Parks          uint64       // worker sleeps for lack of work (PolicySteal only)
 	Blocks         uint64       // Block regions entered (PolicySteal only)
 	Blocked        int          // tasks currently inside a Block region (PolicySteal only)
+	CanceledRuns   uint64       // Run invocations that ended canceled (Runtime.Cancel, scope cancel, task panic)
+	TaskPanics     uint64       // task bodies that panicked (each also cancels its run's scope)
+	Sheds          uint64       // values refused by TryPush or timed-out PushTimeout, across all metered queues
 	Queues         []QueueStats // metered queues, in creation order
 	// Hyperobjects holds the named reducers and hypermaps, aggregated
 	// by (name, kind) in order of first registration.
@@ -36,6 +39,11 @@ type RuntimeStats struct {
 func Stats(rt *Runtime) RuntimeStats {
 	s := rt.Stats()
 	prov := core.ProviderOf(rt)
+	queues := prov.QueueStats()
+	var sheds uint64
+	for _, q := range queues {
+		sheds += q.Sheds
+	}
 	return RuntimeStats{
 		Workers:        rt.Workers(),
 		PooledSegments: prov.PooledSegments(),
@@ -47,7 +55,10 @@ func Stats(rt *Runtime) RuntimeStats {
 		Parks:          s.Parks,
 		Blocks:         s.Blocks,
 		Blocked:        s.Blocked,
-		Queues:         prov.QueueStats(),
+		CanceledRuns:   s.CanceledRuns,
+		TaskPanics:     s.TaskPanics,
+		Sheds:          sheds,
+		Queues:         queues,
 		Hyperobjects:   prov.HyperStats(),
 	}
 }

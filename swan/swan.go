@@ -55,6 +55,46 @@ import (
 	"repro/internal/sched"
 )
 
+// Cancellation and overload errors. Run returns ErrCanceled when its
+// cancel scope was canceled (Frame.CancelScope().Cancel, Runtime.Cancel)
+// and the scope's cause otherwise; the deadline-bearing queue operations
+// (Pusher.PushTimeout, Popper.PopTimeout, Sharded.Drain) return
+// ErrTimeout when the deadline fires first; PopTimeout returns ErrEmpty
+// when the queue is permanently empty; operations on a queue poisoned by
+// Queue.Fail observe the Fail error (ErrQueueFailed when Fail was given
+// nil).
+var (
+	ErrCanceled    = sched.ErrCanceled
+	ErrTimeout     = core.ErrTimeout
+	ErrEmpty       = core.ErrEmpty
+	ErrQueueFailed = core.ErrQueueFailed
+)
+
+// CancelScope is the cooperative cancellation scope of a Run (or of a
+// Frame.ScopedCall subtree). Cancel wakes every parked task in the scope
+// — credit-parked producers, consumers parked in Pop/Empty, tasks gated
+// on pop tickets — which unwind instead of blocking forever; the Run
+// then quiesces (views fold, the segment pool balances) and returns the
+// scope's error. Scopes form a tree: canceling a parent cancels its
+// ScopedCall children, never the reverse.
+type CancelScope = sched.CancelScope
+
+// PanicError is the error a Run's scope carries when a task body
+// panicked: the panic cancels the scope (siblings stop), is re-raised
+// out of Run, and siblings that observe the cancellation unwind with a
+// cause of *PanicError.
+type PanicError = sched.PanicError
+
+// CancelUnwind and AbortUnwind are the sentinel panic values the runtime
+// uses to unwind a task out of a park site after a cancellation or a
+// queue Fail. Task bodies that recover for cleanup must re-panic values
+// of these types; the substrate absorbs them and still runs the
+// completion protocol.
+type (
+	CancelUnwind = sched.CancelUnwind
+	AbortUnwind  = sched.AbortUnwind
+)
+
 // Runtime schedules tasks over a fixed number of worker slots; the slot
 // count plays the role of the core count and is the only
 // machine-dependent parameter of a program.
